@@ -1,0 +1,93 @@
+"""ABL-ARB -- stealing-loop arbiter versus bisection arbiter.
+
+Section 2 describes the arbiter as "continuously stealing resources [from]
+the more satisfied applications"; the library also ships a bisection
+fast path with the same fixed point.  This bench compares their costs on
+workload states sampled from the paper run and verifies agreement.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BisectionArbiter,
+    LongRunningCurve,
+    StealingArbiter,
+    TransactionalCurve,
+)
+from repro.perf import ClosedTransactionalModel
+from repro.perf.jobmodel import JobPopulation
+from repro.utility import TransactionalUtility
+
+CAPACITY = 300_000.0
+
+
+def contended_state(num_jobs: int, mean_age: float):
+    """A mid-run-like arbitration problem with ``num_jobs`` in flight."""
+    rng = np.random.default_rng(num_jobs)
+    remaining = rng.uniform(0.2, 1.0, num_jobs) * 45e6
+    goal_lengths = np.full(num_jobs, 60_000.0)
+    goals_abs = goal_lengths - rng.uniform(0.0, mean_age, num_jobs)
+    pop = JobPopulation(
+        time=0.0,
+        job_ids=tuple(f"j{i}" for i in range(num_jobs)),
+        remaining=remaining,
+        caps=np.full(num_jobs, 3000.0),
+        goals_abs=goals_abs,
+        goal_lengths=goal_lengths,
+        importance=np.ones(num_jobs),
+    )
+    model = ClosedTransactionalModel(210.0, 0.2, 300.0, 3000.0)
+    tx = TransactionalCurve(model, TransactionalUtility(0.4))
+    return tx, LongRunningCurve(pop)
+
+
+STATES = {
+    "light-60jobs": contended_state(60, 5_000.0),
+    "heavy-150jobs": contended_state(150, 20_000.0),
+}
+
+
+@pytest.mark.parametrize("state_name", list(STATES))
+def test_bisection_arbiter(benchmark, state_name):
+    tx, lr = STATES[state_name]
+    arbiter = BisectionArbiter()
+    result = benchmark(lambda: arbiter.split(CAPACITY, tx, lr))
+    print(
+        f"\n[bisection/{state_name}] split tx={result.tx_allocation:.0f} "
+        f"lr={result.lr_allocation:.0f} gap={result.utility_gap:.4f} "
+        f"evals={result.iterations}"
+    )
+    assert result.utility_gap < 0.01
+
+
+@pytest.mark.parametrize("state_name", list(STATES))
+def test_stealing_arbiter(benchmark, state_name):
+    tx, lr = STATES[state_name]
+    arbiter = StealingArbiter()
+    result = benchmark(lambda: arbiter.split(CAPACITY, tx, lr))
+    print(
+        f"\n[stealing/{state_name}] split tx={result.tx_allocation:.0f} "
+        f"lr={result.lr_allocation:.0f} gap={result.utility_gap:.4f} "
+        f"evals={result.iterations}"
+    )
+    assert result.utility_gap < 0.01
+
+
+@pytest.mark.parametrize("state_name", list(STATES))
+def test_fixed_points_agree(benchmark, state_name):
+    """Both implementations land on the same split (the ablation's point)."""
+    tx, lr = STATES[state_name]
+
+    def both():
+        a = BisectionArbiter().split(CAPACITY, tx, lr)
+        b = StealingArbiter().split(CAPACITY, tx, lr)
+        return a, b
+
+    a, b = benchmark.pedantic(both, rounds=3, iterations=1, warmup_rounds=0)
+    drift = abs(a.tx_allocation - b.tx_allocation) / CAPACITY
+    print(
+        f"\n[{state_name}] fixed-point drift {drift:.4%} of capacity; "
+        f"evals bisection={a.iterations} stealing={b.iterations}"
+    )
+    assert drift < 0.02

@@ -1,0 +1,58 @@
+"""BASE -- utility-driven placement vs static/one-sided policies.
+
+The paper's motivating claim: consolidation with dynamic utility-driven
+placement beats static partitioning (reference [6]) and priority
+heuristics, because those maximize one workload's satisfaction by
+sacrificing the other.  All policies run the identical scaled scenario
+on the identical simulated substrate.
+"""
+
+import pytest
+
+from repro.baselines import (
+    EdfSharedPolicy,
+    FcfsSharedPolicy,
+    StaticPartitionPolicy,
+    TxPriorityPolicy,
+)
+from repro.experiments import comparison_table, run_scenario, scaled_paper_scenario
+
+BASELINES = (StaticPartitionPolicy, FcfsSharedPolicy, EdfSharedPolicy, TxPriorityPolicy)
+
+
+def min_utility(result) -> float:
+    rec = result.recorder
+    horizon = result.scenario.horizon
+    return min(
+        rec.series("tx_utility").time_average(0.0, horizon),
+        rec.series("lr_utility").time_average(0.0, horizon),
+    )
+
+
+@pytest.fixture(scope="module")
+def baseline_runs():
+    scenario = scaled_paper_scenario(scale=0.2, seed=42)
+    return {
+        cls.policy_name: run_scenario(
+            scenario, lambda s, c=cls: c([w.spec for w in s.apps], s.controller)
+        )
+        for cls in BASELINES
+    }
+
+
+def test_policy_comparison(benchmark, baseline_runs):
+    """Benchmark the utility-driven run; compare against all baselines."""
+    scenario = scaled_paper_scenario(scale=0.2, seed=42)
+    ours = benchmark.pedantic(
+        lambda: run_scenario(scenario), rounds=2, iterations=1, warmup_rounds=0
+    )
+
+    results = {"utility-driven": ours, **baseline_runs}
+    print("\n" + comparison_table(results))
+
+    ours_min = min_utility(ours)
+    print(f"\nmin-utility: utility-driven = {ours_min:.3f}")
+    for name, result in baseline_runs.items():
+        other = min_utility(result)
+        print(f"min-utility: {name} = {other:.3f}")
+        assert ours_min > other, f"{name} should lose on min utility"

@@ -1,0 +1,81 @@
+"""PERF -- end-to-end controller decision cost.
+
+One `decide()` call on a mid-run-like state (25 nodes, ~150 incomplete
+jobs): demand estimation, arbitration, hypothetical equalization,
+placement and action planning together.  The paper's control cycle is
+600 s; the decision must cost milliseconds, not minutes.
+"""
+
+import numpy as np
+
+from repro.cluster import Placement, homogeneous_cluster
+from repro.config import ControllerConfig
+from repro.core import UtilityDrivenController
+from repro.workloads import Job, JobSpec, TransactionalAppSpec
+
+
+def build_state(num_nodes: int = 25, num_jobs: int = 150, t: float = 30_000.0):
+    rng = np.random.default_rng(7)
+    cluster = homogeneous_cluster(num_nodes)
+    spec = TransactionalAppSpec(
+        app_id="web", rt_goal=0.4, mean_service_cycles=300.0,
+        request_cap_mhz=3000.0, instance_memory_mb=400.0,
+        min_instances=1, max_instances=num_nodes,
+        model_kind="closed", think_time=0.2,
+    )
+    controller = UtilityDrivenController([spec], ControllerConfig())
+    controller.observe_app("web", load=210.0, service_cycles=300.0)
+
+    jobs = []
+    node_ids = cluster.node_ids
+    slots: dict[str, int] = {}
+    for i in range(num_jobs):
+        submit = float(rng.uniform(0.0, t))
+        job = Job(JobSpec(
+            job_id=f"j{i:04d}", submit_time=submit, total_work=45e6,
+            speed_cap_mhz=3000.0, memory_mb=1200.0, completion_goal=60_000.0,
+        ))
+        node = node_ids[i % num_nodes]
+        if slots.get(node, 0) < 3:
+            job.start(submit, node, float(rng.uniform(500.0, 3000.0)))
+            job.advance_to(t)
+            slots[node] = slots.get(node, 0) + 1
+        jobs.append(job)
+
+    placement = Placement()
+    vm_states = {j.vm.vm_id: j.vm.state for j in jobs}
+    app_nodes = {"web": frozenset(node_ids)}
+    for job in jobs:
+        if job.node_id is not None:
+            from repro.cluster import PlacementEntry
+            from repro.types import WorkloadKind
+
+            placement.add(PlacementEntry(
+                vm_id=job.vm.vm_id, node_id=job.node_id,
+                cpu_mhz=job.rate, memory_mb=1200.0,
+                kind=WorkloadKind.LONG_RUNNING,
+            ))
+    return controller, cluster, jobs, placement, vm_states, app_nodes, t
+
+
+def test_controller_decide(benchmark):
+    controller, cluster, jobs, placement, vm_states, app_nodes, t = build_state()
+
+    decision = benchmark(
+        lambda: controller.decide(
+            t,
+            nodes=cluster.active_nodes(),
+            jobs=jobs,
+            current_placement=placement,
+            vm_states=vm_states,
+            app_nodes=app_nodes,
+        )
+    )
+
+    diag = decision.diagnostics
+    print(
+        f"\ndecision: tx={diag.tx_target:.0f} MHz lr={diag.lr_target:.0f} MHz "
+        f"population={diag.population_size} actions={len(decision.actions)}"
+    )
+    decision.placement.validate(cluster)
+    assert diag.population_size > 100

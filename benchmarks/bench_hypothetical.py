@@ -1,0 +1,43 @@
+"""PERF -- hypothetical-utility equalization cost versus population size.
+
+The equalization runs every control cycle over all incomplete jobs; the
+vectorized bisection must stay far below the control-cycle budget even
+for thousands of jobs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import equalize_hypothetical_utility
+from repro.perf.jobmodel import JobPopulation
+
+SIZES = (100, 1_000, 10_000)
+
+
+def build_population(n: int) -> JobPopulation:
+    rng = np.random.default_rng(n)
+    goal_lengths = np.full(n, 60_000.0)
+    return JobPopulation(
+        time=30_000.0,
+        job_ids=tuple(f"j{i}" for i in range(n)),
+        remaining=rng.uniform(1e6, 45e6, n),
+        caps=np.full(n, 3000.0),
+        goals_abs=30_000.0 + rng.uniform(-10_000.0, 50_000.0, n),
+        goal_lengths=goal_lengths,
+        importance=np.ones(n),
+    )
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_equalization_scaling(benchmark, size):
+    population = build_population(size)
+    allocation = 0.4 * population.total_cap
+
+    result = benchmark(lambda: equalize_hypothetical_utility(population, allocation))
+
+    print(
+        f"\n[{size} jobs] level={result.utility_level:.3f} "
+        f"mean={result.mean_utility:.3f} consumed={result.consumed:.0f}"
+        f"/{allocation:.0f} MHz"
+    )
+    assert result.consumed <= allocation * (1 + 1e-6)

@@ -1,0 +1,81 @@
+"""VALID -- analytic response-time models versus request-level simulation.
+
+The controller's decisions are only as good as its performance model.
+This bench reproduces the model-validation table: predicted versus
+micro-simulated mean response time across utilization levels, for both
+the open M/M/m model and the closed interactive model.
+"""
+
+import numpy as np
+
+from repro.experiments.report import format_table
+from repro.perf import (
+    ClosedTransactionalModel,
+    OpenTransactionalModel,
+    simulate_closed_interactive,
+    simulate_open_mmc,
+)
+
+
+def test_open_model_validation(benchmark):
+    """Open M/M/m: analytic Erlang-C versus FCFS simulation."""
+    lam, cycles, cap = 40.0, 300.0, 3000.0
+    model = OpenTransactionalModel(lam, cycles, cap)
+    rows = []
+    worst = 0.0
+    for servers in (5, 6, 8, 12):
+        allocation = servers * cap
+        rng = np.random.default_rng(servers)
+        sim = simulate_open_mmc(rng, lam, cycles, cap, allocation,
+                                num_requests=30_000, warmup_requests=3_000)
+        predicted = model.response_time(allocation)
+        err = abs(sim.mean_response_time - predicted) / predicted
+        worst = max(worst, err)
+        rows.append([
+            f"{servers}", f"{lam * cycles / allocation:.2f}",
+            f"{predicted * 1e3:.1f}", f"{sim.mean_response_time * 1e3:.1f}",
+            f"{err:.1%}",
+        ])
+    print("\nopen M/M/m validation (40 req/s):")
+    print(format_table(
+        ["servers", "utilization", "analytic RT (ms)", "simulated RT (ms)", "rel err"],
+        rows,
+    ))
+    assert worst < 0.10
+
+    # Benchmark one analytic evaluation sweep (the controller's hot call).
+    allocations = np.linspace(1.1, 4.0, 200) * lam * cycles
+    benchmark(lambda: [model.response_time(a) for a in allocations])
+
+
+def test_closed_model_validation(benchmark):
+    """Closed interactive law versus capped-PS simulation."""
+    clients, think, cycles, cap = 60, 0.2, 300.0, 3000.0
+    model = ClosedTransactionalModel(clients, think, cycles, cap)
+    rows = []
+    worst_congested = 0.0
+    for frac in (0.3, 0.5, 0.7, 1.5):
+        allocation = frac * model.saturation_demand
+        rng = np.random.default_rng(int(frac * 100))
+        sim = simulate_closed_interactive(
+            rng, clients, think, cycles, cap, allocation,
+            num_requests=25_000, warmup_requests=2_500,
+        )
+        predicted = model.response_time(allocation)
+        err = abs(sim.mean_response_time - predicted) / predicted
+        if frac < 1.0:
+            worst_congested = max(worst_congested, err)
+        rows.append([
+            f"{frac:.1f}", f"{predicted * 1e3:.1f}",
+            f"{sim.mean_response_time * 1e3:.1f}", f"{err:.1%}",
+        ])
+    print("\nclosed interactive validation (60 clients):")
+    print(format_table(
+        ["alloc/knee", "analytic RT (ms)", "simulated RT (ms)", "rel err"], rows
+    ))
+    # The fluid law is asymptotic: tight under congestion, optimistic right
+    # at the knee (the simulated system still queues stochastically there).
+    assert worst_congested < 0.10
+
+    allocations = np.linspace(0.2, 3.0, 200) * model.saturation_demand
+    benchmark(lambda: [model.response_time(a) for a in allocations])

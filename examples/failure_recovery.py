@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Node-failure injection and controller-driven recovery.
+
+Two of five nodes fail mid-run (one later recovers).  The runner
+crash-suspends the victims' jobs and evacuates web instances; at the next
+control cycle the controller re-places everything on the surviving nodes
+-- jobs resume from checkpoints, web instances restart -- and the
+utilities converge back toward the equalized level.
+
+Usage::
+
+    python examples/failure_recovery.py
+"""
+
+import dataclasses
+
+from repro.analysis import ascii_plot
+from repro.experiments import run_scenario, scaled_paper_scenario, summarize_run
+from repro.experiments.scenario import NodeFailure
+
+
+def main() -> None:
+    base = scaled_paper_scenario(scale=0.2, seed=3)
+    scenario = dataclasses.replace(
+        base,
+        name="failure-recovery",
+        horizon=40_000.0,
+        failures=(
+            NodeFailure(at=12_000.0, node_id="node001", restore_at=26_000.0),
+            NodeFailure(at=18_000.0, node_id="node003"),  # permanent loss
+        ),
+    )
+
+    result = run_scenario(scenario)
+
+    print(summarize_run(result))
+    failures = int(result.recorder.counter("node_failures"))
+    resumes = result.action_log.resumptions
+    print(f"\nnode failures injected: {failures}; job resumptions: {resumes}")
+
+    rec = result.recorder
+    t = rec.series("tx_utility").times
+    print()
+    print(
+        ascii_plot(
+            {
+                "transactional": (t, rec.series("tx_utility").values),
+                "long-running": (t, rec.series("lr_utility").resample(t)),
+            },
+            title=(
+                "Utilities around failures at t=12k (restored 26k) and t=18k"
+            ),
+            y_label="utility",
+            height=14,
+        )
+    )
+    print(
+        "\nExpected shape: dips after each failure as capacity vanishes and\n"
+        "jobs checkpoint, then convergence back as the controller re-places\n"
+        "workloads on the surviving nodes."
+    )
+
+
+if __name__ == "__main__":
+    main()

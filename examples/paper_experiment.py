@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Reproduce the paper's evaluation (Figures 1 and 2).
+
+Runs the HPDC'08 scenario -- 25 nodes x 4 processors, 800 identical jobs
+arriving with exponential inter-arrival times (mean 260 s, reduced near
+the end), a constant transactional workload, placement recomputed every
+600 s -- and renders both evaluation figures plus the automated shape
+validation.
+
+Usage::
+
+    python examples/paper_experiment.py              # full 25-node run
+    python examples/paper_experiment.py --scale 0.2  # 5-node quick run
+    python examples/paper_experiment.py --csv out/   # also dump CSVs
+"""
+
+import argparse
+from pathlib import Path
+
+from repro.experiments import (
+    figure1_series,
+    figure2_series,
+    render_figure1,
+    render_figure2,
+    run_paper_experiment,
+    summarize_run,
+    write_csv,
+)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=1.0)
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--csv", type=Path, default=None)
+    args = parser.parse_args()
+
+    result, report = run_paper_experiment(scale=args.scale, seed=args.seed)
+
+    print(render_figure1(result))
+    print()
+    print(render_figure2(result))
+    print()
+    print(summarize_run(result, label="paper evaluation"))
+    print()
+    print("Shape validation against the paper's figures:")
+    print(report.summary())
+
+    if args.csv is not None:
+        args.csv.mkdir(parents=True, exist_ok=True)
+        write_csv(figure1_series(result), args.csv / "figure1.csv")
+        write_csv(figure2_series(result), args.csv / "figure2.csv")
+        print(f"\nSeries written to {args.csv}/figure1.csv and figure2.csv")
+
+    raise SystemExit(0 if report.passed else 1)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""Service differentiation between job classes via SLA goals.
+
+The paper's utility functions provide "service differentiation based on
+high-level performance goals": two job classes with different
+completion-time goals (gold: goal = 2x fastest run; silver: goal = 6x)
+submit to the same cluster.  Utility equalization gives every job the
+same *utility*, but reaching equal utility requires running gold jobs
+much sooner and faster -- differentiation emerges from the goals alone,
+with no explicit priorities anywhere in the controller.
+
+Usage::
+
+    python examples/service_differentiation.py
+"""
+
+import dataclasses
+
+from repro.analysis import job_outcomes_by_class
+from repro.experiments import run_scenario, scaled_paper_scenario
+from repro.experiments.report import format_table
+from repro.sim import RngRegistry
+from repro.workloads import JobTemplate, differentiated_job_trace
+
+GOLD = JobTemplate(
+    total_work=9_000.0 * 3000.0,
+    speed_cap_mhz=3000.0,
+    memory_mb=1200.0,
+    goal_factor=2.0,  # tight SLA: finish within 2x the fastest run
+    job_class="gold",
+    importance=1.0,
+)
+SILVER = JobTemplate(
+    total_work=9_000.0 * 3000.0,
+    speed_cap_mhz=3000.0,
+    memory_mb=1200.0,
+    goal_factor=6.0,  # loose SLA
+    job_class="silver",
+    importance=1.0,
+)
+
+
+def main() -> None:
+    base = scaled_paper_scenario(scale=0.2, seed=11)
+    rngs = RngRegistry(11)
+    trace = differentiated_job_trace(
+        rngs.stream("diff-jobs"),
+        templates=[(GOLD, 0.5), (SILVER, 0.5)],
+        count=60,
+        mean_interarrival=520.0,
+    )
+    scenario = dataclasses.replace(
+        base, name="service-differentiation", job_specs=tuple(trace)
+    )
+
+    result = run_scenario(scenario)
+
+    print("Per-class SLA outcomes under one equalized utility level:\n")
+    rows = []
+    for cls, stats in job_outcomes_by_class(result.jobs, scenario.horizon).items():
+        rows.append(
+            [
+                cls,
+                f"{stats.completed}/{stats.submitted}",
+                f"{stats.mean_flow_time:.0f}" if stats.completed else "n/a",
+                f"{stats.mean_utility:.3f}" if stats.completed else "n/a",
+                (
+                    f"{stats.on_time_fraction:.0%}"
+                    if stats.completed
+                    else "n/a"
+                ),
+            ]
+        )
+    print(
+        format_table(
+            ["class", "completed", "mean flow time (s)", "mean utility", "on-time"],
+            rows,
+        )
+    )
+    print(
+        "\nGold jobs (tight goals) should show much shorter flow times than\n"
+        "silver jobs (loose goals) while achieving comparable utility --\n"
+        "the goals, not hidden priorities, drive the differentiation."
+    )
+
+
+if __name__ == "__main__":
+    main()

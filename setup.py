@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The project metadata lives in ``pyproject.toml`` ([project] table); this
+file exists so environments whose setuptools lacks the ``wheel`` package
+(required for PEP 660 editable installs) can still ``pip install -e .``
+through the legacy ``setup.py develop`` path.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,56 @@
+"""repro -- reproduction of *Managing SLAs of Heterogeneous Workloads
+using Dynamic Application Placement* (Carrera, Steinder, Whalley, Torres,
+Ayguadé; HPDC 2008).
+
+A simulated virtualized data center hosting two workload types --
+transactional web applications with response-time SLAs and long-running
+jobs with completion-time SLAs -- managed by a utility-driven placement
+controller that equalizes workload satisfaction via hypothetical-utility
+prediction, CPU arbitration, and memory-constrained dynamic placement
+with suspend/resume/migrate control actions.
+
+Quickstart::
+
+    from repro import run_paper_experiment, render_figure1
+
+    result, report = run_paper_experiment(scale=0.2)
+    print(render_figure1(result))
+    print(report.summary())
+"""
+
+from ._version import __version__
+from .config import ControllerConfig, NoiseConfig
+from .core.controller import UtilityDrivenController
+from .experiments.figures import (
+    figure1_series,
+    figure2_series,
+    render_figure1,
+    render_figure2,
+    run_paper_experiment,
+)
+from .experiments.runner import ExperimentResult, ExperimentRunner, run_scenario
+from .experiments.scenario import (
+    Scenario,
+    paper_scenario,
+    scaled_paper_scenario,
+    smoke_scenario,
+)
+
+__all__ = [
+    "__version__",
+    "ControllerConfig",
+    "NoiseConfig",
+    "UtilityDrivenController",
+    "Scenario",
+    "paper_scenario",
+    "scaled_paper_scenario",
+    "smoke_scenario",
+    "ExperimentRunner",
+    "ExperimentResult",
+    "run_scenario",
+    "run_paper_experiment",
+    "figure1_series",
+    "figure2_series",
+    "render_figure1",
+    "render_figure2",
+]

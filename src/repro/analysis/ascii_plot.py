@@ -1,0 +1,103 @@
+"""Terminal line plots.
+
+The benches and the figure CLI print the reproduced curves directly in the
+terminal (no plotting dependencies are available offline).  Each series
+gets a distinct marker; axes are scaled to the joint data range.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+_MARKERS = "*o+x#@%&"
+
+
+def ascii_plot(
+    series: Mapping[str, tuple[Sequence[float], Sequence[float]]],
+    *,
+    width: int = 72,
+    height: int = 18,
+    title: str = "",
+    x_label: str = "time (s)",
+    y_label: str = "",
+) -> str:
+    """Render named ``(x, y)`` series on one character grid.
+
+    Parameters
+    ----------
+    series:
+        Mapping of series name to ``(x_values, y_values)``; all series
+        share the axes.  At most eight series (distinct markers).
+    width / height:
+        Plot-area size in characters (excluding axes and labels).
+    title / x_label / y_label:
+        Annotations.
+
+    Returns
+    -------
+    str
+        A multi-line string ready to print.
+    """
+    if not series:
+        raise ConfigurationError("nothing to plot")
+    if len(series) > len(_MARKERS):
+        raise ConfigurationError(f"at most {len(_MARKERS)} series supported")
+    if width < 16 or height < 4:
+        raise ConfigurationError("plot area too small")
+
+    xs_all: list[np.ndarray] = []
+    ys_all: list[np.ndarray] = []
+    for name, (xs, ys) in series.items():
+        x = np.asarray(xs, dtype=float)
+        y = np.asarray(ys, dtype=float)
+        if x.shape != y.shape or x.size == 0:
+            raise ConfigurationError(f"series {name!r}: bad or empty data")
+        finite = np.isfinite(x) & np.isfinite(y)
+        xs_all.append(x[finite])
+        ys_all.append(y[finite])
+
+    x_min = min(float(x.min()) for x in xs_all if x.size)
+    x_max = max(float(x.max()) for x in xs_all if x.size)
+    y_min = min(float(y.min()) for y in ys_all if y.size)
+    y_max = max(float(y.max()) for y in ys_all if y.size)
+    if not all(map(math.isfinite, (x_min, x_max, y_min, y_max))):
+        raise ConfigurationError("series contain no finite points")
+    if x_max == x_min:
+        x_max = x_min + 1.0
+    if y_max == y_min:
+        y_max = y_min + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for (name, _), x, y in zip(series.items(), xs_all, ys_all):
+        marker = _MARKERS[list(series).index(name)]
+        cols = np.clip(
+            ((x - x_min) / (x_max - x_min) * (width - 1)).round().astype(int), 0, width - 1
+        )
+        rows = np.clip(
+            ((y - y_min) / (y_max - y_min) * (height - 1)).round().astype(int),
+            0,
+            height - 1,
+        )
+        for c, r in zip(cols, rows):
+            grid[height - 1 - r][c] = marker
+
+    lines: list[str] = []
+    if title:
+        lines.append(title.center(width + 12))
+    for i, row in enumerate(grid):
+        y_val = y_max - (y_max - y_min) * i / (height - 1)
+        lines.append(f"{y_val:>10.3g} |" + "".join(row))
+    lines.append(" " * 11 + "+" + "-" * width)
+    lines.append(f"{'':>11} {x_min:<12.6g}{x_label:^{max(width - 26, 1)}}{x_max:>12.6g}")
+    legend = "   ".join(
+        f"{_MARKERS[i]} {name}" for i, name in enumerate(series)
+    )
+    lines.append((" " * 12) + legend)
+    if y_label:
+        lines.append((" " * 12) + f"[y: {y_label}]")
+    return "\n".join(lines)

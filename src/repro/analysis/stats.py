@@ -1,0 +1,126 @@
+"""Summary statistics for experiment reporting."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..utility.longrunning import JobUtility
+from ..workloads.jobs import Job, JobPhase
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-style summary of a sample."""
+
+    count: int
+    mean: float
+    std: float
+    p50: float
+    p95: float
+    minimum: float
+    maximum: float
+
+    @classmethod
+    def of(cls, values: Sequence[float]) -> "Summary":
+        """Build a summary; raises on empty input."""
+        arr = np.asarray(list(values), dtype=float)
+        if arr.size == 0:
+            raise ConfigurationError("cannot summarize an empty sample")
+        return cls(
+            count=int(arr.size),
+            mean=float(arr.mean()),
+            std=float(arr.std(ddof=0)),
+            p50=float(np.percentile(arr, 50)),
+            p95=float(np.percentile(arr, 95)),
+            minimum=float(arr.min()),
+            maximum=float(arr.max()),
+        )
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"n={self.count} mean={self.mean:.4g} std={self.std:.4g} "
+            f"p50={self.p50:.4g} p95={self.p95:.4g}"
+        )
+
+
+def equalization_error(tx_utility: np.ndarray, lr_utility: np.ndarray) -> float:
+    """Mean absolute utility gap -- how well the arbiter equalized."""
+    tx = np.asarray(tx_utility, dtype=float)
+    lr = np.asarray(lr_utility, dtype=float)
+    if tx.shape != lr.shape:
+        raise ConfigurationError("utility arrays must have equal shape")
+    if tx.size == 0:
+        raise ConfigurationError("empty utility arrays")
+    return float(np.mean(np.abs(tx - lr)))
+
+
+@dataclass(frozen=True)
+class JobOutcomeStats:
+    """SLA outcomes of a (sub)population of jobs."""
+
+    submitted: int
+    completed: int
+    on_time: int
+    mean_utility: float
+    mean_flow_time: float
+    mean_tardiness: float
+    p95_tardiness: float
+
+    @property
+    def completion_fraction(self) -> float:
+        """Completed / submitted (0 when nothing was submitted)."""
+        return self.completed / self.submitted if self.submitted else 0.0
+
+    @property
+    def on_time_fraction(self) -> float:
+        """On-time completions / completions (nan when none completed)."""
+        return self.on_time / self.completed if self.completed else math.nan
+
+
+def job_outcome_stats(jobs: Iterable[Job], horizon: float | None = None) -> JobOutcomeStats:
+    """Aggregate SLA outcomes over completed jobs.
+
+    ``horizon`` restricts "submitted" to jobs that entered the system
+    before it (useful because traces may extend past the simulation end).
+    """
+    utility = JobUtility()
+    submitted = 0
+    completed: list[Job] = []
+    for job in jobs:
+        if horizon is not None and job.spec.submit_time >= horizon:
+            continue
+        submitted += 1
+        if job.phase is JobPhase.COMPLETED:
+            completed.append(job)
+    if not completed:
+        return JobOutcomeStats(submitted, 0, 0, math.nan, math.nan, math.nan, math.nan)
+    utilities = [utility.achieved(j) for j in completed]
+    flows = [j.flow_time for j in completed]
+    tard = [j.tardiness for j in completed]
+    return JobOutcomeStats(
+        submitted=submitted,
+        completed=len(completed),
+        on_time=sum(1 for x in tard if x == 0.0),
+        mean_utility=float(np.mean(utilities)),
+        mean_flow_time=float(np.mean(flows)),
+        mean_tardiness=float(np.mean(tard)),
+        p95_tardiness=float(np.percentile(tard, 95)),
+    )
+
+
+def job_outcomes_by_class(
+    jobs: Iterable[Job], horizon: float | None = None
+) -> Mapping[str, JobOutcomeStats]:
+    """Per-service-class outcome stats (differentiation experiments)."""
+    by_class: dict[str, list[Job]] = {}
+    for job in jobs:
+        by_class.setdefault(job.spec.job_class, []).append(job)
+    return {
+        cls: job_outcome_stats(members, horizon)
+        for cls, members in sorted(by_class.items())
+    }

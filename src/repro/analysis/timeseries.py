@@ -1,0 +1,67 @@
+"""Time-series operations on recorded experiment series."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..sim.recorder import Series
+
+
+def regular_grid(start: float, end: float, step: float) -> np.ndarray:
+    """Inclusive-start, exclusive-end regular sample grid."""
+    if step <= 0:
+        raise ConfigurationError("step must be positive")
+    if end <= start:
+        raise ConfigurationError("end must exceed start")
+    return np.arange(start, end, step, dtype=float)
+
+
+def resample(series: Series, grid: np.ndarray) -> np.ndarray:
+    """Step-function evaluation of ``series`` on ``grid`` (delegates)."""
+    return series.resample(grid)
+
+
+def moving_average(values: np.ndarray, window: int) -> np.ndarray:
+    """Centered moving average with edge shrinkage (output same length)."""
+    if window < 1:
+        raise ConfigurationError("window must be >= 1")
+    values = np.asarray(values, dtype=float)
+    if window == 1 or values.size == 0:
+        return values.copy()
+    kernel = np.ones(window)
+    summed = np.convolve(values, kernel, mode="same")
+    counts = np.convolve(np.ones_like(values), kernel, mode="same")
+    return summed / counts
+
+
+def first_crossing(
+    times: np.ndarray, a: np.ndarray, b: np.ndarray, after: float = -np.inf
+) -> Optional[float]:
+    """First time ``a`` falls to or below ``b`` having been above it.
+
+    Returns ``None`` when no such crossing exists after ``after``.
+    """
+    times = np.asarray(times, dtype=float)
+    diff = np.asarray(a, dtype=float) - np.asarray(b, dtype=float)
+    if times.shape != diff.shape:
+        raise ConfigurationError("times and series must have equal length")
+    above = diff > 0
+    for i in range(1, len(times)):
+        if times[i] <= after:
+            continue
+        if above[i - 1] and not above[i]:
+            return float(times[i])
+    return None
+
+
+def window_mean(series: Series, start: float, end: float) -> float:
+    """Exact time-weighted mean of a step series over ``[start, end]``."""
+    return series.time_average(start, end)
+
+
+def integrate(series: Series, start: float, end: float) -> float:
+    """Time integral of a step series over ``[start, end]``."""
+    return series.time_average(start, end) * (end - start)

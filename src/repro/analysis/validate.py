@@ -1,0 +1,209 @@
+"""Automated paper-shape validation.
+
+The reproduction does not target the paper's absolute numbers (its
+substrate was a physical testbed); what must hold is the *shape* of the
+evaluation figures.  This module turns the acceptance criteria from
+DESIGN.md into executable checks over an
+:class:`~repro.experiments.runner.ExperimentResult`:
+
+(a) an initial uncontended phase with the transactional utility at its
+    plateau;
+(b) monotone (trend) decline of the long-running hypothetical utility
+    while jobs accumulate;
+(c) equalization: once both workloads contend, the utility gap stays
+    small;
+(d) recovery after the submission-rate drop;
+(e) *uneven allocation, even utility* -- the paper's headline;
+(f) feasibility: satisfied demand never exceeds demand or capacity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ShapeValidationError
+from ..experiments.runner import ExperimentResult
+
+
+@dataclass(frozen=True)
+class CheckResult:
+    """Outcome of one shape check."""
+
+    name: str
+    passed: bool
+    detail: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        flag = "PASS" if self.passed else "FAIL"
+        return f"[{flag}] {self.name}: {self.detail}"
+
+
+@dataclass(frozen=True)
+class ValidationReport:
+    """All shape checks for one experiment run."""
+
+    checks: tuple[CheckResult, ...]
+
+    @property
+    def passed(self) -> bool:
+        """Whether every check passed."""
+        return all(c.passed for c in self.checks)
+
+    def summary(self) -> str:
+        """Human-readable multi-line report."""
+        return "\n".join(str(c) for c in self.checks)
+
+    def raise_on_failure(self) -> None:
+        """Raise :class:`ShapeValidationError` listing any failed checks."""
+        failed = [c for c in self.checks if not c.passed]
+        if failed:
+            raise ShapeValidationError(
+                "shape validation failed:\n" + "\n".join(str(c) for c in failed)
+            )
+
+
+def validate_paper_run(
+    result: ExperimentResult,
+    *,
+    plateau_min: float = 0.6,
+    decline_min: float = 0.12,
+    equalization_tol: float = 0.18,
+    recovery_min: float = 0.01,
+    uneven_min_fraction: float = 0.05,
+) -> ValidationReport:
+    """Check a paper-scenario run against the Figure 1/2 shape criteria.
+
+    Thresholds are deliberately loose -- they flag qualitative breakage,
+    not quantitative drift.  Windows are expressed as fractions of the
+    horizon so scaled scenarios validate with the same code.
+    """
+    rec = result.recorder
+    horizon = result.scenario.horizon
+    rate_drop = 0.857 * horizon  # 60 000 / 70 000 of the paper timeline
+
+    t = rec.series("tx_utility").times
+    tx_u = rec.series("tx_utility").values
+    lr_u = rec.series("lr_utility").resample(t)
+    tx_alloc = rec.series("tx_allocation").resample(t)
+    lr_alloc = rec.series("lr_allocation").resample(t)
+    tx_demand = rec.series("tx_demand").resample(t)
+    lr_demand = rec.series("lr_demand").resample(t)
+    capacity = (
+        result.scenario.num_nodes
+        * result.scenario.node_processors
+        * result.scenario.node_mhz
+    )
+
+    checks: list[CheckResult] = []
+
+    # (a) initial transactional plateau.
+    early = tx_u[(t >= 0) & (t <= 0.06 * horizon)]
+    plateau = float(np.mean(early)) if early.size else float("nan")
+    checks.append(
+        CheckResult(
+            "a-initial-plateau",
+            bool(early.size and plateau >= plateau_min),
+            f"mean tx utility over first 6% of run = {plateau:.3f} "
+            f"(threshold {plateau_min})",
+        )
+    )
+
+    # (b) long-running utility declines during the ramp.
+    ramp_start = lr_u[(t >= 0.03 * horizon) & (t <= 0.15 * horizon)]
+    ramp_end = lr_u[(t >= 0.7 * horizon) & (t <= rate_drop)]
+    if ramp_start.size and ramp_end.size:
+        drop = float(np.mean(ramp_start) - np.mean(ramp_end))
+    else:
+        drop = float("nan")
+    checks.append(
+        CheckResult(
+            "b-lr-decline",
+            bool(ramp_start.size and ramp_end.size and drop >= decline_min),
+            f"lr utility fell by {drop:.3f} between early and late ramp "
+            f"(threshold {decline_min})",
+        )
+    )
+
+    # (c) equalization while contended.
+    mid = (t >= 0.45 * horizon) & (t <= rate_drop)
+    gap = float(np.mean(np.abs(tx_u[mid] - lr_u[mid]))) if mid.any() else float("nan")
+    checks.append(
+        CheckResult(
+            "c-equalization",
+            bool(mid.any() and gap <= equalization_tol),
+            f"mean |U_tx − U_lr| over contended window = {gap:.3f} "
+            f"(tolerance {equalization_tol})",
+        )
+    )
+
+    # (d) recovery after the submission-rate drop: "more CPU power being
+    # returned to the transactional workload" -- the tx allocation rises
+    # (by at least ``recovery_min`` of capacity), the tx utility does not
+    # fall, and the long-running demand (backlog) drains.
+    before_win = (t >= 0.7 * horizon) & (t <= rate_drop)
+    after_win = t >= min(rate_drop + 0.03 * horizon, horizon)
+    if before_win.any() and after_win.any():
+        alloc_gain = float(
+            np.mean(tx_alloc[after_win]) - np.mean(tx_alloc[before_win])
+        ) / capacity
+        util_gain = float(np.mean(tx_u[after_win]) - np.mean(tx_u[before_win]))
+        demand_drop = float(
+            np.mean(lr_demand[before_win]) - np.mean(lr_demand[after_win])
+        )
+        # Primary signal: CPU visibly returns to the transactional side.
+        # Alternative (small scaled runs, where per-cycle granularity makes
+        # the allocation shift noisy): the backlog demonstrably drains --
+        # at least 5% of capacity of long-running demand disappears --
+        # without the transactional utility degrading.
+        ok = (
+            alloc_gain >= recovery_min and util_gain > -0.02 and demand_drop > 0
+        ) or (demand_drop >= 0.05 * capacity and util_gain > -0.02)
+        detail = (
+            f"tx allocation +{alloc_gain:.2%} of capacity, tx utility "
+            f"{util_gain:+.3f}, lr demand drained by {demand_drop:.0f} MHz"
+        )
+    else:
+        ok, detail = False, "no samples around the rate drop"
+    checks.append(CheckResult("d-recovery", bool(ok), detail))
+
+    # (e) uneven allocation, even utility (the paper's punchline): the two
+    # workloads' *demand-satisfaction ratios* differ markedly even though
+    # their utilities agree -- CPU is divided by marginal utility, not
+    # proportionally to demand.
+    if mid.any():
+        with np.errstate(divide="ignore", invalid="ignore"):
+            tx_ratio = np.where(tx_demand[mid] > 0, tx_alloc[mid] / tx_demand[mid], 1.0)
+            lr_ratio = np.where(lr_demand[mid] > 0, lr_alloc[mid] / lr_demand[mid], 1.0)
+        ratio_gap = float(np.mean(np.abs(tx_ratio - lr_ratio)))
+        util_gap = gap
+        uneven_even = ratio_gap >= uneven_min_fraction and util_gap <= equalization_tol
+        detail = (
+            f"demand-satisfaction gap {ratio_gap:.2f} "
+            f"(tx {float(np.mean(tx_ratio)):.2f} vs lr {float(np.mean(lr_ratio)):.2f}) "
+            f"with utility gap {util_gap:.3f}"
+        )
+    else:
+        uneven_even, detail = False, "no contended window samples"
+    checks.append(CheckResult("e-uneven-alloc-even-utility", bool(uneven_even), detail))
+
+    # (f) feasibility: satisfied <= demand and total <= capacity.  Demand
+    # comparison uses the controller's *estimated* demand (what it actually
+    # promised against); the plotted true demand is measured with noise and
+    # can momentarily dip below what was (correctly) granted.
+    tx_demand_est = rec.series("tx_demand_est").resample(t)
+    lr_demand_est = rec.series("lr_demand_est").resample(t)
+    slack = 1e-6 + 1e-3 * capacity
+    tx_ok = bool(np.all(tx_alloc <= np.maximum(tx_demand, tx_demand_est) + slack))
+    lr_ok = bool(np.all(lr_alloc <= np.maximum(lr_demand, lr_demand_est) + slack))
+    cap_ok = bool(np.all(tx_alloc + lr_alloc <= capacity + slack))
+    checks.append(
+        CheckResult(
+            "f-feasibility",
+            tx_ok and lr_ok and cap_ok,
+            f"satisfied<=demand: tx={tx_ok} lr={lr_ok}; total<=capacity: {cap_ok}",
+        )
+    )
+
+    return ValidationReport(tuple(checks))

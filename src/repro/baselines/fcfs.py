@@ -1,0 +1,43 @@
+"""Shared-cluster FCFS baseline (jobs first, web gets the residue).
+
+Jobs are admitted in submission order at full speed wherever they fit;
+the transactional application receives whatever CPU remains on each node.
+No utility reasoning: when enough jobs pile up, the web application is
+squeezed to the per-node leftovers regardless of its SLA.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from ..core.placement_solver import PlacementSolution
+from ..types import Mhz, Seconds
+from ..workloads.jobs import Job
+from .base import BaselinePolicy
+
+
+class FcfsSharedPolicy(BaselinePolicy):
+    """First-come-first-served job placement on the shared cluster."""
+
+    policy_name = "fcfs-shared"
+
+    def _solve_cycle(
+        self,
+        t: Seconds,
+        *,
+        nodes,
+        jobs: Sequence[Job],
+        tx_demand: Mhz,
+        capacity: Mhz,
+        app_nodes: Mapping[str, frozenset[str]],
+    ) -> PlacementSolution:
+        # Equal targets (the speed caps) degrade the solver's urgency
+        # ordering to ascending submission time: FCFS.  Jobs phase runs
+        # before web placement, so jobs take CPU first.
+        job_requests = self._fifo_job_requests(jobs, t)
+        app_targets = {
+            app_id: curve.max_utility_demand
+            for app_id, curve in zip(sorted(self._specs), self._tx_curves())
+        }
+        app_requests = self._app_requests(app_targets, app_nodes)
+        return self._solver.solve(nodes, app_requests, job_requests)

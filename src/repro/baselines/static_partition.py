@@ -1,0 +1,100 @@
+"""Static partitioning baseline (cf. the paper's reference [6]).
+
+The cluster is split once, by configuration, into a long-running
+partition and a transactional partition -- the pre-virtualization
+consolidation practice the paper argues against.  Jobs are served FCFS at
+full speed inside their partition; the web application lives only on its
+own nodes.  No CPU ever crosses the boundary, so one workload can starve
+while the other partition idles.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from ..config import ControllerConfig
+from ..core.placement_solver import PlacementSolution
+from ..errors import ConfigurationError
+from ..types import Mhz, Seconds
+from ..workloads.jobs import Job
+from ..workloads.transactional import TransactionalAppSpec
+from .base import BaselinePolicy
+
+
+def merge_solutions(a: PlacementSolution, b: PlacementSolution) -> PlacementSolution:
+    """Combine two disjoint partition solutions into one."""
+    merged = PlacementSolution(
+        placement=a.placement.copy(),
+        job_rates=dict(a.job_rates),
+        app_allocations=dict(a.app_allocations),
+        deferred_jobs=[*a.deferred_jobs, *b.deferred_jobs],
+        unplaced_jobs=[*a.unplaced_jobs, *b.unplaced_jobs],
+        evicted_jobs=[*a.evicted_jobs, *b.evicted_jobs],
+        migrated_jobs=[*a.migrated_jobs, *b.migrated_jobs],
+        started_instances=[*a.started_instances, *b.started_instances],
+        stopped_instances=[*a.stopped_instances, *b.stopped_instances],
+        changes=a.changes + b.changes,
+    )
+    for entry in b.placement:
+        merged.placement.add(entry)
+    merged.job_rates.update(b.job_rates)
+    merged.app_allocations.update(b.app_allocations)
+    return merged
+
+
+class StaticPartitionPolicy(BaselinePolicy):
+    """Fixed node split between the two workload types.
+
+    Parameters
+    ----------
+    app_specs / config:
+        As for the controller.
+    lr_fraction:
+        Fraction of nodes dedicated to long-running jobs (first nodes in
+        id order); the remainder serve the transactional workload.
+    """
+
+    policy_name = "static-partition"
+
+    def __init__(
+        self,
+        app_specs: Sequence[TransactionalAppSpec],
+        config: ControllerConfig | None = None,
+        lr_fraction: float = 0.5,
+    ) -> None:
+        super().__init__(app_specs, config)
+        if not 0 < lr_fraction < 1:
+            raise ConfigurationError("lr_fraction must be in (0, 1)")
+        self.lr_fraction = lr_fraction
+
+    def _solve_cycle(
+        self,
+        t: Seconds,
+        *,
+        nodes,
+        jobs: Sequence[Job],
+        tx_demand: Mhz,
+        capacity: Mhz,
+        app_nodes: Mapping[str, frozenset[str]],
+    ) -> PlacementSolution:
+        ordered = sorted(nodes, key=lambda n: n.node_id)
+        split = max(1, min(len(ordered) - 1, round(len(ordered) * self.lr_fraction)))
+        lr_nodes, tx_nodes = ordered[:split], ordered[split:]
+
+        job_requests = self._fifo_job_requests(jobs, t)  # targets = speed caps
+        lr_solution = self._solver.solve(lr_nodes, [], job_requests)
+
+        app_targets = self._partition_app_targets(tx_demand, tx_nodes)
+        app_requests = self._app_requests(app_targets, app_nodes)
+        tx_solution = self._solver.solve(tx_nodes, app_requests, [])
+        return merge_solutions(lr_solution, tx_solution)
+
+    def _partition_app_targets(self, tx_demand: Mhz, tx_nodes) -> dict[str, Mhz]:
+        partition_capacity = sum(n.cpu_capacity for n in tx_nodes)
+        scale = (
+            min(partition_capacity / tx_demand, 1.0) if tx_demand > 0 else 0.0
+        )
+        targets: dict[str, Mhz] = {}
+        for curve, app_id in zip(self._tx_curves(), sorted(self._specs)):
+            targets[app_id] = curve.max_utility_demand * scale
+        return targets

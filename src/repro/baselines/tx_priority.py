@@ -1,0 +1,60 @@
+"""Transactional-priority baseline.
+
+The web application is guaranteed its full max-utility demand first; jobs
+share whatever CPU budget remains, FCFS.  This is the "protect the
+interactive tier" heuristic common before utility-driven management: the
+transactional SLA is always safe, but job SLAs collapse as soon as the
+web application's demand approaches cluster capacity -- there is no
+mechanism to notice that jobs are in far worse shape than the web tier.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from ..core.placement_solver import PlacementSolution
+from ..types import Mhz, Seconds
+from ..workloads.jobs import Job
+from .base import BaselinePolicy
+
+
+class TxPriorityPolicy(BaselinePolicy):
+    """Web demand first; jobs split the leftover budget FCFS."""
+
+    policy_name = "tx-priority"
+
+    def _solve_cycle(
+        self,
+        t: Seconds,
+        *,
+        nodes,
+        jobs: Sequence[Job],
+        tx_demand: Mhz,
+        capacity: Mhz,
+        app_nodes: Mapping[str, frozenset[str]],
+    ) -> PlacementSolution:
+        budget = max(capacity - tx_demand, 0.0)
+        # Hand the leftover budget to jobs in submission order, each up to
+        # its speed cap; jobs beyond the budget get no target and wait.
+        targets: dict[str, Mhz] = {}
+        eligible = sorted(
+            (
+                job
+                for job in jobs
+                if job.is_incomplete and job.spec.submit_time <= t
+            ),
+            key=lambda j: (j.spec.submit_time, j.job_id),
+        )
+        for job in eligible:
+            give = min(job.spec.speed_cap_mhz, budget)
+            targets[job.job_id] = give
+            budget -= give
+            if budget <= 0:
+                break
+        job_requests = self._fifo_job_requests(jobs, t, targets=targets)
+        app_targets = {
+            app_id: curve.max_utility_demand
+            for app_id, curve in zip(sorted(self._specs), self._tx_curves())
+        }
+        app_requests = self._app_requests(app_targets, app_nodes)
+        return self._solver.solve(nodes, app_requests, job_requests)

@@ -1,0 +1,60 @@
+"""Virtualized data-center substrate.
+
+Physical nodes (:class:`NodeSpec`), the managed :class:`Cluster`, the VM
+lifecycle (:class:`VirtualMachine`), placement matrices
+(:class:`Placement`) with feasibility validation, placement-change actions
+with costs (:class:`ActionCosts`), and topology builders including the
+paper's 25-node evaluation cluster (:func:`paper_cluster`).
+"""
+
+from .actions import (
+    DISRUPTIVE_ACTIONS,
+    ActionCosts,
+    ActionLog,
+    AdjustCpu,
+    MigrateVm,
+    PlacementAction,
+    ResumeVm,
+    StartVm,
+    StopVm,
+    SuspendVm,
+)
+from .cluster import Cluster
+from .node import NodeSpec
+from .placement import Placement, PlacementEntry
+from .topology import (
+    PAPER_MHZ_PER_PROCESSOR,
+    PAPER_NODE_COUNT,
+    PAPER_NODE_MEMORY_MB,
+    PAPER_PROCESSORS,
+    heterogeneous_cluster,
+    homogeneous_cluster,
+    paper_cluster,
+)
+from .vm import VirtualMachine, VmState
+
+__all__ = [
+    "NodeSpec",
+    "Cluster",
+    "VirtualMachine",
+    "VmState",
+    "Placement",
+    "PlacementEntry",
+    "ActionCosts",
+    "ActionLog",
+    "PlacementAction",
+    "StartVm",
+    "StopVm",
+    "SuspendVm",
+    "ResumeVm",
+    "MigrateVm",
+    "AdjustCpu",
+    "DISRUPTIVE_ACTIONS",
+    "homogeneous_cluster",
+    "heterogeneous_cluster",
+    "paper_cluster",
+    "PAPER_NODE_COUNT",
+    "PAPER_PROCESSORS",
+    "PAPER_MHZ_PER_PROCESSOR",
+    "PAPER_NODE_MEMORY_MB",
+]

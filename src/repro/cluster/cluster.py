@@ -1,0 +1,104 @@
+"""Cluster: the collection of nodes managed by one placement controller.
+
+Tracks which nodes are *active* (powered and healthy).  Failure injection
+(:meth:`Cluster.fail_node` / :meth:`Cluster.restore_node`) removes and
+returns capacity; the experiment runner is responsible for rescuing the
+workloads that were placed on a failed node.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from ..errors import ConfigurationError, UnknownEntityError
+from ..types import Megabytes, Mhz
+from .node import NodeSpec
+
+
+class Cluster:
+    """An ordered set of :class:`~repro.cluster.node.NodeSpec` with health state."""
+
+    def __init__(self, nodes: Iterable[NodeSpec]) -> None:
+        self._nodes: dict[str, NodeSpec] = {}
+        for node in nodes:
+            if node.node_id in self._nodes:
+                raise ConfigurationError(f"duplicate node id {node.node_id!r}")
+            self._nodes[node.node_id] = node
+        if not self._nodes:
+            raise ConfigurationError("cluster must contain at least one node")
+        self._failed: set[str] = set()
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __iter__(self) -> Iterator[NodeSpec]:
+        return iter(self._nodes.values())
+
+    def __contains__(self, node_id: str) -> bool:
+        return node_id in self._nodes
+
+    def node(self, node_id: str) -> NodeSpec:
+        """Return the node with the given id.
+
+        Raises
+        ------
+        UnknownEntityError
+            If no such node exists.
+        """
+        try:
+            return self._nodes[node_id]
+        except KeyError:
+            raise UnknownEntityError(f"unknown node {node_id!r}") from None
+
+    @property
+    def node_ids(self) -> list[str]:
+        """All node ids, in registration order."""
+        return list(self._nodes)
+
+    # ------------------------------------------------------------------
+    # Health
+    # ------------------------------------------------------------------
+    def fail_node(self, node_id: str) -> None:
+        """Mark ``node_id`` as failed; its capacity disappears."""
+        self.node(node_id)  # validate
+        self._failed.add(node_id)
+
+    def restore_node(self, node_id: str) -> None:
+        """Return a previously failed node to service."""
+        self.node(node_id)  # validate
+        self._failed.discard(node_id)
+
+    def is_active(self, node_id: str) -> bool:
+        """Whether the node is registered and not failed."""
+        return node_id in self._nodes and node_id not in self._failed
+
+    @property
+    def failed_node_ids(self) -> set[str]:
+        """Ids of currently failed nodes (copy)."""
+        return set(self._failed)
+
+    def active_nodes(self) -> list[NodeSpec]:
+        """All healthy nodes, in registration order."""
+        return [n for nid, n in self._nodes.items() if nid not in self._failed]
+
+    # ------------------------------------------------------------------
+    # Aggregate capacity
+    # ------------------------------------------------------------------
+    @property
+    def total_cpu_capacity(self) -> Mhz:
+        """Sum of CPU power over *active* nodes, in MHz."""
+        return sum(n.cpu_capacity for n in self.active_nodes())
+
+    @property
+    def total_memory(self) -> Megabytes:
+        """Sum of memory over *active* nodes, in MB."""
+        return sum(n.memory_mb for n in self.active_nodes())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Cluster({len(self._nodes)} nodes, {len(self._failed)} failed, "
+            f"{self.total_cpu_capacity:.0f} MHz active)"
+        )

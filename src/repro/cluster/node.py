@@ -1,0 +1,62 @@
+"""Physical node model.
+
+A node is a machine in the data center with a fixed number of processors,
+a per-processor speed in MHz and a memory size in MB.  Matching the paper's
+evaluation setup, CPU power is treated as a fluid resource of
+``processors x mhz_per_processor`` MHz that the hypervisor can divide
+arbitrarily among hosted virtual machines, while any *single* VM thread is
+capped at one processor's speed (enforced by the workload models, not by
+the node itself).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+from ..types import Megabytes, Mhz
+
+
+@dataclass(frozen=True, slots=True)
+class NodeSpec:
+    """Immutable hardware description of one node.
+
+    Attributes
+    ----------
+    node_id:
+        Unique identifier within a cluster.
+    processors:
+        Number of physical processors (>= 1).
+    mhz_per_processor:
+        Speed of each processor in MHz.
+    memory_mb:
+        Installed memory in MB.
+    """
+
+    node_id: str
+    processors: int
+    mhz_per_processor: Mhz
+    memory_mb: Megabytes
+
+    def __post_init__(self) -> None:
+        if not self.node_id:
+            raise ConfigurationError("node_id must be non-empty")
+        if self.processors < 1:
+            raise ConfigurationError(f"node {self.node_id}: processors must be >= 1")
+        if self.mhz_per_processor <= 0:
+            raise ConfigurationError(
+                f"node {self.node_id}: mhz_per_processor must be positive"
+            )
+        if self.memory_mb <= 0:
+            raise ConfigurationError(f"node {self.node_id}: memory_mb must be positive")
+
+    @property
+    def cpu_capacity(self) -> Mhz:
+        """Total fluid CPU power of the node in MHz."""
+        return self.processors * self.mhz_per_processor
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{self.node_id}: {self.processors}x{self.mhz_per_processor:.0f} MHz, "
+            f"{self.memory_mb:.0f} MB"
+        )

@@ -1,0 +1,169 @@
+"""Placement matrices.
+
+A :class:`Placement` is the controller's complete answer for one control
+cycle: which VMs run on which nodes and how much CPU each is granted.
+Entries are self-contained (they carry the VM's memory footprint and
+workload kind) so a placement can be validated and diffed without access
+to the live VM registry.
+
+Placements are *value objects*: the solver builds a new one each cycle and
+the actions planner (:mod:`repro.core.actions_planner`) diffs it against
+the previous one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Iterable, Iterator, Mapping, Optional
+
+from ..errors import PlacementError
+from ..types import Megabytes, Mhz, WorkloadKind
+from .cluster import Cluster
+
+#: CPU/memory slack tolerated by validation, to absorb float round-off.
+_EPS = 1e-6
+
+
+@dataclass(frozen=True, slots=True)
+class PlacementEntry:
+    """One VM's assignment: where it runs and what it is granted."""
+
+    vm_id: str
+    node_id: str
+    cpu_mhz: Mhz
+    memory_mb: Megabytes
+    kind: WorkloadKind
+
+    def __post_init__(self) -> None:
+        if self.cpu_mhz < 0:
+            raise PlacementError(f"vm {self.vm_id}: negative CPU grant")
+        if self.memory_mb <= 0:
+            raise PlacementError(f"vm {self.vm_id}: non-positive memory footprint")
+
+    def with_cpu(self, cpu_mhz: Mhz) -> "PlacementEntry":
+        """Copy of this entry with a different CPU grant."""
+        return replace(self, cpu_mhz=cpu_mhz)
+
+
+class Placement:
+    """Immutable-by-convention map of VM id -> :class:`PlacementEntry`."""
+
+    def __init__(self, entries: Iterable[PlacementEntry] = ()) -> None:
+        self._entries: dict[str, PlacementEntry] = {}
+        for entry in entries:
+            if entry.vm_id in self._entries:
+                raise PlacementError(f"vm {entry.vm_id} placed twice")
+            self._entries[entry.vm_id] = entry
+
+    # ------------------------------------------------------------------
+    # Collection protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[PlacementEntry]:
+        return iter(self._entries.values())
+
+    def __contains__(self, vm_id: str) -> bool:
+        return vm_id in self._entries
+
+    def get(self, vm_id: str) -> Optional[PlacementEntry]:
+        """Entry for ``vm_id`` or ``None`` when not placed."""
+        return self._entries.get(vm_id)
+
+    def entry(self, vm_id: str) -> PlacementEntry:
+        """Entry for ``vm_id``; raises :class:`PlacementError` if absent."""
+        try:
+            return self._entries[vm_id]
+        except KeyError:
+            raise PlacementError(f"vm {vm_id!r} is not placed") from None
+
+    # ------------------------------------------------------------------
+    # Builders
+    # ------------------------------------------------------------------
+    def copy(self) -> "Placement":
+        """Shallow copy (entries are frozen, so this is a safe snapshot)."""
+        return Placement(self._entries.values())
+
+    def add(self, entry: PlacementEntry) -> None:
+        """Insert a new entry; the VM must not already be placed."""
+        if entry.vm_id in self._entries:
+            raise PlacementError(f"vm {entry.vm_id} already placed")
+        self._entries[entry.vm_id] = entry
+
+    def remove(self, vm_id: str) -> PlacementEntry:
+        """Remove and return the entry for ``vm_id``."""
+        try:
+            return self._entries.pop(vm_id)
+        except KeyError:
+            raise PlacementError(f"vm {vm_id!r} is not placed") from None
+
+    def update_cpu(self, vm_id: str, cpu_mhz: Mhz) -> None:
+        """Replace the CPU grant of an existing entry."""
+        self._entries[vm_id] = self.entry(vm_id).with_cpu(cpu_mhz)
+
+    # ------------------------------------------------------------------
+    # Per-node aggregation
+    # ------------------------------------------------------------------
+    def entries_on(self, node_id: str) -> list[PlacementEntry]:
+        """All entries hosted on ``node_id``."""
+        return [e for e in self._entries.values() if e.node_id == node_id]
+
+    def cpu_used(self, node_id: str) -> Mhz:
+        """Total CPU granted on ``node_id``."""
+        return sum(e.cpu_mhz for e in self._entries.values() if e.node_id == node_id)
+
+    def memory_used(self, node_id: str) -> Megabytes:
+        """Total memory occupied on ``node_id``."""
+        return sum(e.memory_mb for e in self._entries.values() if e.node_id == node_id)
+
+    def total_cpu(self, kind: Optional[WorkloadKind] = None) -> Mhz:
+        """Total CPU granted, optionally restricted to one workload kind."""
+        return sum(
+            e.cpu_mhz
+            for e in self._entries.values()
+            if kind is None or e.kind is kind
+        )
+
+    def by_node(self) -> Mapping[str, list[PlacementEntry]]:
+        """Entries grouped by hosting node."""
+        grouped: dict[str, list[PlacementEntry]] = {}
+        for entry in self._entries.values():
+            grouped.setdefault(entry.node_id, []).append(entry)
+        return grouped
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+    def validate(self, cluster: Cluster) -> None:
+        """Check feasibility against ``cluster``.
+
+        Verifies that every hosting node exists and is active, and that no
+        node's CPU or memory capacity is exceeded (within float tolerance).
+
+        Raises
+        ------
+        PlacementError
+            Describing the first violation found.
+        """
+        for node_id, entries in self.by_node().items():
+            if node_id not in cluster:
+                raise PlacementError(f"placement references unknown node {node_id!r}")
+            if not cluster.is_active(node_id):
+                raise PlacementError(f"placement uses failed node {node_id!r}")
+            node = cluster.node(node_id)
+            cpu = sum(e.cpu_mhz for e in entries)
+            if cpu > node.cpu_capacity * (1 + _EPS) + _EPS:
+                raise PlacementError(
+                    f"node {node_id}: CPU over-committed "
+                    f"({cpu:.1f} > {node.cpu_capacity:.1f} MHz)"
+                )
+            mem = sum(e.memory_mb for e in entries)
+            if mem > node.memory_mb * (1 + _EPS) + _EPS:
+                raise PlacementError(
+                    f"node {node_id}: memory over-committed "
+                    f"({mem:.1f} > {node.memory_mb:.1f} MB)"
+                )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Placement({len(self._entries)} VMs, {self.total_cpu():.0f} MHz)"

@@ -1,0 +1,84 @@
+"""Cluster topology builders.
+
+Convenience constructors for the node populations used in the paper's
+evaluation and in the extended experiments: homogeneous clusters, mixed
+"racks" of different hardware generations, and the exact 25-node setup of
+the HPDC'08 evaluation.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..errors import ConfigurationError
+from ..types import Megabytes, Mhz
+from .cluster import Cluster
+from .node import NodeSpec
+
+#: Defaults matching the paper's evaluation: 25 nodes, 4 processors each.
+PAPER_NODE_COUNT = 25
+PAPER_PROCESSORS = 4
+#: Per-processor speed chosen so the cluster capacity (300 GHz) sits inside
+#: the 0-450 GHz range of the paper's Figure 2 demand curves.
+PAPER_MHZ_PER_PROCESSOR: Mhz = 3000.0
+#: Node memory sized so that exactly three jobs (1200 MB each, see
+#: :mod:`repro.experiments.scenario`) fit on a node together with one web
+#: instance (400 MB) -- "only three jobs will fit on a node at once".
+PAPER_NODE_MEMORY_MB: Megabytes = 4000.0
+
+
+def homogeneous_cluster(
+    num_nodes: int,
+    processors: int = PAPER_PROCESSORS,
+    mhz_per_processor: Mhz = PAPER_MHZ_PER_PROCESSOR,
+    memory_mb: Megabytes = PAPER_NODE_MEMORY_MB,
+    prefix: str = "node",
+) -> Cluster:
+    """Build a cluster of ``num_nodes`` identical nodes.
+
+    Node ids are ``f"{prefix}{i:03d}"`` for stable ordering.
+    """
+    if num_nodes < 1:
+        raise ConfigurationError("num_nodes must be >= 1")
+    return Cluster(
+        NodeSpec(
+            node_id=f"{prefix}{i:03d}",
+            processors=processors,
+            mhz_per_processor=mhz_per_processor,
+            memory_mb=memory_mb,
+        )
+        for i in range(num_nodes)
+    )
+
+
+def paper_cluster() -> Cluster:
+    """The evaluation cluster of the paper: 25 nodes x 4 processors."""
+    return homogeneous_cluster(PAPER_NODE_COUNT)
+
+
+def heterogeneous_cluster(rack_specs: Sequence[tuple[int, int, Mhz, Megabytes]]) -> Cluster:
+    """Build a cluster from racks of differing hardware.
+
+    Parameters
+    ----------
+    rack_specs:
+        Sequence of ``(count, processors, mhz_per_processor, memory_mb)``
+        tuples, one per rack.  Node ids encode the rack:
+        ``rack{r}-node{i:03d}``.
+    """
+    if not rack_specs:
+        raise ConfigurationError("rack_specs must be non-empty")
+    nodes: list[NodeSpec] = []
+    for rack, (count, processors, mhz, memory) in enumerate(rack_specs):
+        if count < 1:
+            raise ConfigurationError(f"rack {rack}: count must be >= 1")
+        nodes.extend(
+            NodeSpec(
+                node_id=f"rack{rack}-node{i:03d}",
+                processors=processors,
+                mhz_per_processor=mhz,
+                memory_mb=memory,
+            )
+            for i in range(count)
+        )
+    return Cluster(nodes)

@@ -1,0 +1,160 @@
+"""Controller configuration.
+
+One frozen dataclass collects every tunable of the utility-driven
+placement controller, with validation at construction.  The defaults
+reproduce the paper's setup (600 s control cycle) with the solver and
+arbiter settings used throughout the experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Literal, Optional
+
+from .errors import ConfigurationError
+from .types import Mhz, Seconds
+
+
+@dataclass(frozen=True)
+class SolverConfig:
+    """Tunables of the placement solver
+    (:class:`repro.core.placement_solver.PlacementSolver`).
+
+    Attributes
+    ----------
+    min_job_rate:
+        Jobs whose equalized target is below this (MHz) are not *admitted*
+        (running jobs are never stopped for having a low target; eviction
+        handles displacement).
+    change_budget:
+        Maximum disruptive actions per cycle (``None`` = unlimited).
+    eviction_margin:
+        Relative urgency advantage a waiting job needs to evict.
+    max_evictions:
+        Cap on evictions per cycle (suspension churn bound; each eviction
+        costs a suspend now and a resume later).
+    protect_completion:
+        Running jobs that could finish within this many seconds at full
+        speed are never evicted (a suspend/resume round trip costs more
+        than letting them run out; also prevents lockstep starvation
+        under deep overload).
+    migration_deficit:
+        A running job allocated below ``migration_deficit * target``
+        becomes a migration candidate.
+    max_migrations:
+        Cap on rebalancing migrations per cycle.
+    stop_idle_instances:
+        Whether web instances granted no CPU are stopped (down to
+        ``min_instances``).
+    web_start_threshold:
+        Unplaced fraction of an app's target below which no new instance
+        is started (avoids churning instances for slivers).
+    """
+
+    min_job_rate: Mhz = 150.0
+    change_budget: Optional[int] = None
+    eviction_margin: float = 0.5
+    max_evictions: int = 4
+    protect_completion: Seconds = 1800.0
+    migration_deficit: float = 0.5
+    max_migrations: int = 4
+    stop_idle_instances: bool = True
+    web_start_threshold: float = 0.02
+
+    def __post_init__(self) -> None:
+        if self.min_job_rate < 0:
+            raise ConfigurationError("min_job_rate must be non-negative")
+        if self.change_budget is not None and self.change_budget < 0:
+            raise ConfigurationError("change_budget must be non-negative or None")
+        if self.eviction_margin < 0:
+            raise ConfigurationError("eviction_margin must be non-negative")
+        if self.max_evictions < 0:
+            raise ConfigurationError("max_evictions must be non-negative")
+        if self.protect_completion < 0:
+            raise ConfigurationError("protect_completion must be non-negative")
+        if not 0 <= self.migration_deficit <= 1:
+            raise ConfigurationError("migration_deficit must be in [0, 1]")
+        if self.max_migrations < 0:
+            raise ConfigurationError("max_migrations must be non-negative")
+        if not 0 <= self.web_start_threshold < 1:
+            raise ConfigurationError("web_start_threshold must be in [0, 1)")
+
+
+@dataclass(frozen=True)
+class ControllerConfig:
+    """Tunables of :class:`repro.core.controller.UtilityDrivenController`.
+
+    Attributes
+    ----------
+    control_cycle:
+        Seconds between placement recomputations (600 s in the paper).
+    arbiter:
+        ``"bisection"`` (fast path) or ``"stealing"`` (the paper's
+        iterative loop); both converge to the same split.
+    lr_metric:
+        Which scalar of the hypothetical allocation the arbiter compares
+        against the transactional utility: the population ``"mean"`` (what
+        Figure 1 plots) or the equalized ``"level"``.
+    capacity_efficiency:
+        Fraction of raw cluster capacity the arbiter may promise; a value
+        slightly below 1 keeps the divisible-CPU arbitration realizable by
+        the integral placement.
+    rt_tolerance:
+        Relative response-time slack defining the transactional
+        max-utility demand (see :mod:`repro.perf.queueing`).
+    estimator_alpha:
+        EWMA smoothing factor for the demand estimators.
+    solver:
+        Placement-solver tunables (:class:`~repro.core.placement_solver.SolverConfig`).
+    """
+
+    control_cycle: Seconds = 600.0
+    arbiter: Literal["bisection", "stealing"] = "bisection"
+    lr_metric: Literal["mean", "level"] = "mean"
+    capacity_efficiency: float = 1.0
+    rt_tolerance: float = 0.05
+    estimator_alpha: float = 0.3
+    solver: SolverConfig = field(default_factory=SolverConfig)
+
+    def __post_init__(self) -> None:
+        if self.control_cycle <= 0:
+            raise ConfigurationError("control_cycle must be positive")
+        if self.arbiter not in ("bisection", "stealing"):
+            raise ConfigurationError(f"unknown arbiter {self.arbiter!r}")
+        if self.lr_metric not in ("mean", "level"):
+            raise ConfigurationError(f"unknown lr_metric {self.lr_metric!r}")
+        if not 0 < self.capacity_efficiency <= 1:
+            raise ConfigurationError("capacity_efficiency must be in (0, 1]")
+        if self.rt_tolerance <= 0:
+            raise ConfigurationError("rt_tolerance must be positive")
+        if not 0 < self.estimator_alpha <= 1:
+            raise ConfigurationError("estimator_alpha must be in (0, 1]")
+
+
+@dataclass(frozen=True)
+class NoiseConfig:
+    """Measurement-noise model applied by the experiment runner.
+
+    The controller sees *measured* quantities; multiplicative lognormal
+    noise with the given relative standard deviations emulates monitoring
+    error.  Zero disables a noise source.
+    """
+
+    response_time_rel_std: float = 0.03
+    throughput_rel_std: float = 0.02
+    service_cycles_rel_std: float = 0.02
+
+    def __post_init__(self) -> None:
+        for name in (
+            "response_time_rel_std",
+            "throughput_rel_std",
+            "service_cycles_rel_std",
+        ):
+            if getattr(self, name) < 0:
+                raise ConfigurationError(f"NoiseConfig.{name} must be non-negative")
+
+
+def validate_budget(change_budget: Optional[int]) -> None:
+    """Shared validation for optional change budgets."""
+    if change_budget is not None and change_budget < 0:
+        raise ConfigurationError("change_budget must be non-negative or None")

@@ -1,0 +1,76 @@
+"""The paper's contribution: the utility-driven placement controller.
+
+Hypothetical-utility equalization over the job population, cross-workload
+CPU arbitration, the incremental memory-constrained placement solver, and
+the control loop tying them together.
+"""
+
+from .actions_planner import plan_actions
+from .arbiter import Arbiter, ArbiterResult, BisectionArbiter, StealingArbiter, make_arbiter
+from .controller import ControlDecision, ControlDiagnostics, UtilityDrivenController
+from .demand import (
+    LongRunningCurve,
+    TransactionalAggregateCurve,
+    TransactionalCurve,
+    UtilityCurve,
+    effective_capacity,
+)
+from .hypothetical import (
+    HypotheticalAllocation,
+    equalize_hypothetical_utility,
+    hypothetical_completion_times,
+    longrunning_max_utility_demand,
+    mean_hypothetical_utility,
+    utility_level,
+)
+from .job_scheduler import (
+    AppRequest,
+    EvictionPolicy,
+    JobRequest,
+    order_by_urgency,
+    split_runnable,
+)
+from .placement_solver import (
+    PlacementSolution,
+    PlacementSolver,
+    SolverConfig,
+    placement_efficiency,
+    water_fill,
+)
+from .relaxation import RelaxationBound, divisible_upper_bound, optimality_gap
+
+__all__ = [
+    "UtilityDrivenController",
+    "ControlDecision",
+    "ControlDiagnostics",
+    "HypotheticalAllocation",
+    "equalize_hypothetical_utility",
+    "mean_hypothetical_utility",
+    "utility_level",
+    "hypothetical_completion_times",
+    "longrunning_max_utility_demand",
+    "Arbiter",
+    "ArbiterResult",
+    "BisectionArbiter",
+    "StealingArbiter",
+    "make_arbiter",
+    "UtilityCurve",
+    "TransactionalCurve",
+    "TransactionalAggregateCurve",
+    "LongRunningCurve",
+    "effective_capacity",
+    "PlacementSolver",
+    "PlacementSolution",
+    "SolverConfig",
+    "water_fill",
+    "placement_efficiency",
+    "RelaxationBound",
+    "divisible_upper_bound",
+    "optimality_gap",
+    "JobRequest",
+    "AppRequest",
+    "EvictionPolicy",
+    "order_by_urgency",
+    "split_runnable",
+    "plan_actions",
+]

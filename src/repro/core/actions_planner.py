@@ -1,0 +1,115 @@
+"""Diffing placements into executable action plans.
+
+The solver produces a *desired* placement; this module compares it with
+the incumbent placement and the current VM lifecycle states and emits the
+ordered list of :mod:`repro.cluster.actions` that takes the data center
+from one to the other.  Resource-freeing actions (stops, suspends) come
+first so that the subsequent starts and resumes land on nodes whose
+capacity has already been released within the same control cycle.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from ..cluster.actions import (
+    AdjustCpu,
+    MigrateVm,
+    PlacementAction,
+    ResumeVm,
+    StartVm,
+    StopVm,
+    SuspendVm,
+)
+from ..cluster.placement import Placement
+from ..cluster.vm import VmState
+from ..errors import PlacementError
+from ..types import WorkloadKind
+
+#: CPU adjustments smaller than this (MHz) are not worth an action.
+_ADJUST_EPS = 1e-6
+
+
+def plan_actions(
+    previous: Placement,
+    desired: Placement,
+    vm_states: Mapping[str, VmState],
+) -> list[PlacementAction]:
+    """Compute the actions transforming ``previous`` into ``desired``.
+
+    Parameters
+    ----------
+    previous:
+        The placement currently in force.
+    desired:
+        The solver's new placement.
+    vm_states:
+        Lifecycle state of every VM mentioned by either placement.  Needed
+        to distinguish a first ``Start`` from a ``Resume`` of a suspended
+        VM, and a ``Suspend`` (long-running job leaving the placement
+        temporarily) from a ``Stop``.
+
+    Returns
+    -------
+    list
+        Actions ordered: stops, suspends, migrations, resumes, starts,
+        CPU adjustments.
+
+    Raises
+    ------
+    PlacementError
+        If a VM's recorded state is inconsistent with the requested
+        transition (e.g. desired placement references a stopped VM).
+    """
+    stops: list[PlacementAction] = []
+    suspends: list[PlacementAction] = []
+    migrations: list[PlacementAction] = []
+    resumes: list[PlacementAction] = []
+    starts: list[PlacementAction] = []
+    adjustments: list[PlacementAction] = []
+
+    previous_ids = {entry.vm_id for entry in previous}
+    desired_ids = {entry.vm_id for entry in desired}
+
+    # VMs leaving the placement.
+    for vm_id in sorted(previous_ids - desired_ids):
+        entry = previous.entry(vm_id)
+        if entry.kind is WorkloadKind.LONG_RUNNING:
+            # A job removed from the placement is checkpointed, not killed;
+            # completed jobs are removed by the runner outside the planner.
+            suspends.append(SuspendVm(vm_id=vm_id))
+        else:
+            stops.append(StopVm(vm_id=vm_id))
+
+    # VMs entering or changing within the placement.
+    for vm_id in sorted(desired_ids):
+        new = desired.entry(vm_id)
+        old = previous.get(vm_id)
+        if old is None:
+            state = vm_states.get(vm_id, VmState.PENDING)
+            if state is VmState.SUSPENDED:
+                resumes.append(
+                    ResumeVm(vm_id=vm_id, node_id=new.node_id, cpu_mhz=new.cpu_mhz)
+                )
+            elif state is VmState.PENDING:
+                starts.append(
+                    StartVm(vm_id=vm_id, node_id=new.node_id, cpu_mhz=new.cpu_mhz)
+                )
+            else:
+                raise PlacementError(
+                    f"vm {vm_id}: desired placement requires state PENDING or "
+                    f"SUSPENDED, found {state}"
+                )
+        elif old.node_id != new.node_id:
+            migrations.append(
+                MigrateVm(
+                    vm_id=vm_id,
+                    src_node_id=old.node_id,
+                    dst_node_id=new.node_id,
+                    cpu_mhz=new.cpu_mhz,
+                )
+            )
+        elif abs(old.cpu_mhz - new.cpu_mhz) > _ADJUST_EPS:
+            adjustments.append(AdjustCpu(vm_id=vm_id, cpu_mhz=new.cpu_mhz))
+
+    return [*stops, *suspends, *migrations, *resumes, *starts, *adjustments]

@@ -1,0 +1,311 @@
+"""The utility-driven placement controller (the paper's contribution).
+
+Each control cycle the controller:
+
+1. snapshots the incomplete-job population and builds the transactional
+   performance models from its smoothed demand estimates;
+2. computes each workload's **max-utility demand**;
+3. runs the **arbiter** to split the cluster's CPU power so the two
+   workloads' utilities are equalized (or each demand is met);
+4. converts the long-running share into **per-job target rates** through
+   hypothetical-utility equalization;
+5. solves the **integral placement** under CPU/memory constraints with a
+   bounded number of disruptive changes; and
+6. emits the **action plan** (start/stop/suspend/resume/migrate/adjust)
+   that realizes the new placement.
+
+The controller is deliberately ignorant of simulated time bookkeeping and
+of ground-truth workload parameters: the experiment runner feeds it noisy
+observations (:meth:`UtilityDrivenController.observe_app`) and asks for a
+decision (:meth:`UtilityDrivenController.decide`), exactly as a deployed
+controller would sit behind a monitoring pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Optional, Sequence
+
+from ..cluster.actions import PlacementAction
+from ..cluster.node import NodeSpec
+from ..cluster.placement import Placement
+from ..cluster.vm import VmState
+from ..config import ControllerConfig
+from ..errors import UnknownEntityError
+from ..perf.estimator import ParameterTracker
+from ..perf.jobmodel import JobPopulation, snapshot_jobs
+from ..types import Mhz, Seconds
+from ..utility.base import UtilityFunction
+from ..utility.transactional import TransactionalUtility
+from ..workloads.jobs import Job
+from ..workloads.transactional import TransactionalAppSpec
+from .actions_planner import plan_actions
+from .arbiter import ArbiterResult, make_arbiter
+from .demand import (
+    LongRunningCurve,
+    TransactionalAggregateCurve,
+    TransactionalCurve,
+    effective_capacity,
+)
+from .hypothetical import (
+    HypotheticalAllocation,
+    equalize_hypothetical_utility,
+    longrunning_max_utility_demand,
+)
+from .job_scheduler import AppRequest, JobRequest
+from .placement_solver import PlacementSolution, PlacementSolver
+
+
+@dataclass(frozen=True)
+class ControlDiagnostics:
+    """Per-cycle telemetry of the controller's reasoning.
+
+    These are the quantities the paper's figures plot: predicted utilities
+    (Figure 1) and demands versus granted allocations (Figure 2).
+    """
+
+    time: Seconds
+    capacity: Mhz
+    tx_demand: Mhz
+    lr_demand: Mhz
+    tx_target: Mhz
+    lr_target: Mhz
+    tx_utility_predicted: float
+    lr_utility_mean: float
+    lr_utility_level: float
+    equalized: bool
+    arbiter_iterations: int
+    population_size: int
+    app_targets: Mapping[str, Mhz] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class ControlDecision:
+    """Everything the controller decided in one cycle."""
+
+    actions: Sequence[PlacementAction]
+    placement: Placement
+    solution: PlacementSolution
+    hypothetical: HypotheticalAllocation
+    diagnostics: ControlDiagnostics
+
+
+class UtilityDrivenController:
+    """SLA-driven placement controller for heterogeneous workloads.
+
+    Parameters
+    ----------
+    app_specs:
+        The transactional applications under management.
+    config:
+        Controller tunables; defaults reproduce the paper's setup.
+    tx_utility_shape / job_utility_shape:
+        Optional utility shapes (default: the paper's linear utility).
+        The job shape is applied to hypothetical slacks only through the
+        long-running *mean*; the equalized level is shape-independent.
+    """
+
+    def __init__(
+        self,
+        app_specs: Sequence[TransactionalAppSpec],
+        config: Optional[ControllerConfig] = None,
+        tx_utility_shape: Optional[UtilityFunction] = None,
+    ) -> None:
+        self.config = config or ControllerConfig()
+        self._specs = {spec.app_id: spec for spec in app_specs}
+        self._utilities = {
+            spec.app_id: TransactionalUtility(spec.rt_goal, tx_utility_shape)
+            for spec in app_specs
+        }
+        self._trackers = {
+            spec.app_id: ParameterTracker(
+                self.config.estimator_alpha,
+                priors={"service_cycles": spec.mean_service_cycles},
+            )
+            for spec in app_specs
+        }
+        self._arbiter = make_arbiter(self.config.arbiter)
+        self._solver = PlacementSolver(self.config.solver)
+
+    # ------------------------------------------------------------------
+    # Observation feed
+    # ------------------------------------------------------------------
+    def observe_app(
+        self, app_id: str, *, load: float, service_cycles: Optional[float] = None
+    ) -> None:
+        """Fold one monitoring sample for a transactional application.
+
+        ``load`` is the measured session count (closed model) or request
+        arrival rate (open model); ``service_cycles`` the measured mean
+        per-request CPU work.
+        """
+        tracker = self._trackers.get(app_id)
+        if tracker is None:
+            raise UnknownEntityError(f"unmanaged app {app_id!r}")
+        tracker.observe("load", load)
+        if service_cycles is not None:
+            tracker.observe("service_cycles", service_cycles)
+
+    def estimated_load(self, app_id: str) -> float:
+        """The smoothed load estimate for ``app_id`` (0 before any sample)."""
+        tracker = self._trackers.get(app_id)
+        if tracker is None:
+            raise UnknownEntityError(f"unmanaged app {app_id!r}")
+        return tracker.get("load") if tracker.has("load") else 0.0
+
+    # ------------------------------------------------------------------
+    # Decision
+    # ------------------------------------------------------------------
+    def decide(
+        self,
+        t: Seconds,
+        *,
+        nodes: Sequence[NodeSpec],
+        jobs: Sequence[Job],
+        current_placement: Placement,
+        vm_states: Mapping[str, VmState],
+        app_nodes: Mapping[str, frozenset[str]],
+    ) -> ControlDecision:
+        """Run one control cycle and return the decision.
+
+        Parameters
+        ----------
+        t:
+            Decision time (seconds).
+        nodes:
+            The *active* nodes.
+        jobs:
+            All jobs ever submitted; completed/future ones are filtered.
+        current_placement:
+            Ground-truth placement currently in force (owned by the
+            runner, which reflects completions and failures).
+        vm_states:
+            Lifecycle state of every VM the placements mention.
+        app_nodes:
+            Per-app set of nodes currently hosting an instance.
+        """
+        population = snapshot_jobs(jobs, t)
+        tx_curves = self._tx_curves()
+        tx_curve = (
+            tx_curves[0]
+            if len(tx_curves) == 1
+            else TransactionalAggregateCurve(tx_curves)
+        )
+        lr_curve = LongRunningCurve(population, self.config.lr_metric)
+        capacity = effective_capacity(
+            sum(n.cpu_capacity for n in nodes), self.config.capacity_efficiency
+        )
+
+        split = self._arbiter.split(capacity, tx_curve, lr_curve)
+        hypothetical = equalize_hypothetical_utility(population, split.lr_allocation)
+
+        app_targets = self._app_targets(tx_curves, tx_curve, split)
+        app_requests = self._app_requests(app_targets, app_nodes)
+        job_requests = self._job_requests(jobs, population, hypothetical, t)
+
+        solution = self._solver.solve(
+            nodes, app_requests, job_requests, lr_target=split.lr_allocation
+        )
+        actions = plan_actions(current_placement, solution.placement, vm_states)
+
+        diagnostics = ControlDiagnostics(
+            time=t,
+            capacity=capacity,
+            tx_demand=tx_curve.max_utility_demand,
+            lr_demand=longrunning_max_utility_demand(population),
+            tx_target=split.tx_allocation,
+            lr_target=split.lr_allocation,
+            tx_utility_predicted=split.tx_utility,
+            lr_utility_mean=hypothetical.mean_utility,
+            lr_utility_level=hypothetical.utility_level,
+            equalized=split.equalized,
+            arbiter_iterations=split.iterations,
+            population_size=len(population),
+            app_targets=dict(app_targets),
+        )
+        return ControlDecision(
+            actions=actions,
+            placement=solution.placement,
+            solution=solution,
+            hypothetical=hypothetical,
+            diagnostics=diagnostics,
+        )
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _tx_curves(self) -> list[TransactionalCurve]:
+        curves = []
+        for app_id in sorted(self._specs):
+            spec = self._specs[app_id]
+            tracker = self._trackers[app_id]
+            load = tracker.get("load") if tracker.has("load") else 0.0
+            cycles = tracker.get("service_cycles")
+            model = spec.build_perf_model(load, service_cycles=cycles)
+            curves.append(
+                TransactionalCurve(
+                    model, self._utilities[app_id], self.config.rt_tolerance
+                )
+            )
+        return curves
+
+    def _app_targets(
+        self,
+        tx_curves: list[TransactionalCurve],
+        tx_curve,
+        split: ArbiterResult,
+    ) -> dict[str, Mhz]:
+        app_ids = sorted(self._specs)
+        if len(tx_curves) == 1:
+            return {app_ids[0]: split.tx_allocation}
+        shares = tx_curve.split(split.tx_allocation)
+        return dict(zip(app_ids, shares))
+
+    def _app_requests(
+        self,
+        app_targets: Mapping[str, Mhz],
+        app_nodes: Mapping[str, frozenset[str]],
+    ) -> list[AppRequest]:
+        requests = []
+        for app_id in sorted(self._specs):
+            spec = self._specs[app_id]
+            requests.append(
+                AppRequest(
+                    app_id=app_id,
+                    target_allocation=app_targets.get(app_id, 0.0),
+                    instance_memory_mb=spec.instance_memory_mb,
+                    min_instances=spec.min_instances,
+                    max_instances=spec.max_instances,
+                    current_nodes=frozenset(app_nodes.get(app_id, frozenset())),
+                )
+            )
+        return requests
+
+    def _job_requests(
+        self,
+        jobs: Sequence[Job],
+        population: JobPopulation,
+        hypothetical: HypotheticalAllocation,
+        t: Seconds,
+    ) -> list[JobRequest]:
+        rate_by_id = dict(zip(population.job_ids, hypothetical.rates))
+        remaining_by_id = dict(zip(population.job_ids, population.remaining))
+        requests = []
+        for job in jobs:
+            if job.job_id not in rate_by_id:
+                continue
+            requests.append(
+                JobRequest(
+                    job_id=job.job_id,
+                    vm_id=job.vm.vm_id,
+                    target_rate=float(rate_by_id[job.job_id]),
+                    speed_cap=job.spec.speed_cap_mhz,
+                    memory_mb=job.spec.memory_mb,
+                    current_node=job.node_id,
+                    was_suspended=job.vm.state is VmState.SUSPENDED,
+                    submit_time=job.spec.submit_time,
+                    importance=job.spec.importance,
+                    remaining_work=float(remaining_by_id[job.job_id]),
+                )
+            )
+        return requests

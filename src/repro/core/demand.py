@@ -1,0 +1,211 @@
+"""Workload utility curves: utility as a function of aggregate allocation.
+
+The arbiter (:mod:`repro.core.arbiter`) trades CPU between the two
+workload types by comparing these curves.  Each curve is non-decreasing in
+the allocation and saturates at the workload's *max-utility demand* --
+"the CPU demand that would make each workload achieve its maximum
+utility" (paper Figure 2).
+
+* :class:`TransactionalCurve` -- one web application through its
+  performance model and response-time utility.
+* :class:`TransactionalAggregateCurve` -- several web applications treated
+  as one workload: the aggregate allocation is divided so that the apps'
+  utilities are equalized (the same fairness principle the paper applies
+  within the long-running workload), and the common level is the
+  aggregate's utility.
+* :class:`LongRunningCurve` -- the job population through hypothetical
+  utility equalization.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Literal, Protocol, Sequence
+
+from ..errors import ConfigurationError
+from ..perf.jobmodel import JobPopulation
+from ..perf.queueing import TransactionalPerfModel
+from ..types import Mhz, WorkloadKind
+from ..utility.transactional import TransactionalUtility
+from .hypothetical import equalize_hypothetical_utility
+
+#: Which scalar of the hypothetical allocation the arbiter compares:
+#: the population mean (what Figure 1 plots) or the equalized level.
+LongRunningMetric = Literal["mean", "level"]
+
+
+class UtilityCurve(Protocol):
+    """Monotone utility-versus-allocation curve of one workload."""
+
+    @property
+    def kind(self) -> WorkloadKind:
+        """The workload type this curve describes."""
+        ...
+
+    @property
+    def max_utility_demand(self) -> Mhz:
+        """Allocation at which the curve saturates."""
+        ...
+
+    def utility(self, allocation: Mhz) -> float:
+        """Predicted utility at the given aggregate allocation."""
+        ...
+
+
+class TransactionalCurve:
+    """Utility curve of a single web application."""
+
+    def __init__(
+        self,
+        model: TransactionalPerfModel,
+        utility_fn: TransactionalUtility,
+        rt_tolerance: float = 0.05,
+    ) -> None:
+        self._model = model
+        self._utility = utility_fn
+        self._demand = model.max_utility_demand(rt_tolerance)
+
+    @property
+    def kind(self) -> WorkloadKind:
+        return WorkloadKind.TRANSACTIONAL
+
+    @property
+    def max_utility_demand(self) -> Mhz:
+        return self._demand
+
+    @property
+    def model(self) -> TransactionalPerfModel:
+        """The underlying performance model (exposed for diagnostics)."""
+        return self._model
+
+    def utility(self, allocation: Mhz) -> float:
+        return self._utility.of_allocation(self._model, allocation)
+
+    def allocation_for_utility(self, target: float) -> Mhz:
+        """Smallest allocation reaching ``target`` utility (capped at demand)."""
+        return min(
+            self._utility.allocation_for_utility(self._model, target), self._demand
+        )
+
+    def max_utility(self) -> float:
+        """The plateau utility value."""
+        return self._utility.max_utility(self._model)
+
+
+class TransactionalAggregateCurve:
+    """Several web applications arbitrated as one transactional workload.
+
+    Given an aggregate allocation, the member applications' utilities are
+    equalized by bisection on the common utility level (each app's
+    required allocation at a level comes from inverting its response-time
+    model).  Apps whose plateau lies below the common level are capped at
+    their max-utility demand.
+    """
+
+    def __init__(self, curves: Sequence[TransactionalCurve]) -> None:
+        if not curves:
+            raise ConfigurationError("aggregate needs at least one app curve")
+        self._curves = list(curves)
+        self._demand = sum(c.max_utility_demand for c in self._curves)
+
+    @property
+    def kind(self) -> WorkloadKind:
+        return WorkloadKind.TRANSACTIONAL
+
+    @property
+    def max_utility_demand(self) -> Mhz:
+        return self._demand
+
+    @property
+    def members(self) -> list[TransactionalCurve]:
+        """The member app curves, in construction order."""
+        return list(self._curves)
+
+    def split(self, allocation: Mhz) -> list[Mhz]:
+        """Divide ``allocation`` among the apps, equalizing their utilities."""
+        if allocation < 0:
+            raise ConfigurationError("allocation must be non-negative")
+        if len(self._curves) == 1:
+            return [min(allocation, self._demand)]
+        if allocation >= self._demand:
+            return [c.max_utility_demand for c in self._curves]
+
+        def consumed(level: float) -> float:
+            return sum(
+                min(c.allocation_for_utility(min(level, c.max_utility())), c.max_utility_demand)
+                for c in self._curves
+            )
+
+        hi = max(c.max_utility() for c in self._curves)
+        lo = hi - 1.0
+        for _ in range(60):  # expand until feasible
+            if consumed(lo) <= allocation:
+                break
+            lo = hi - 2 * (hi - lo)
+        for _ in range(80):
+            mid = 0.5 * (lo + hi)
+            if consumed(mid) > allocation:
+                hi = mid
+            else:
+                lo = mid
+        return [
+            min(c.allocation_for_utility(min(lo, c.max_utility())), c.max_utility_demand)
+            for c in self._curves
+        ]
+
+    def utility(self, allocation: Mhz) -> float:
+        shares = self.split(allocation)
+        return min(
+            c.utility(share) for c, share in zip(self._curves, shares)
+        ) if len(self._curves) > 1 else self._curves[0].utility(shares[0])
+
+
+class LongRunningCurve:
+    """Utility curve of the long-running workload via hypothetical utility."""
+
+    def __init__(self, population: JobPopulation, metric: LongRunningMetric = "mean") -> None:
+        if metric not in ("mean", "level"):
+            raise ConfigurationError(f"unknown long-running metric {metric!r}")
+        self._population = population
+        self._metric = metric
+        self._demand = float(population.total_cap) if len(population) else 0.0
+
+    @property
+    def kind(self) -> WorkloadKind:
+        return WorkloadKind.LONG_RUNNING
+
+    @property
+    def max_utility_demand(self) -> Mhz:
+        return self._demand
+
+    @property
+    def population(self) -> JobPopulation:
+        """The underlying job-population snapshot."""
+        return self._population
+
+    def utility(self, allocation: Mhz) -> float:
+        if len(self._population) == 0:
+            return 1.0
+        result = equalize_hypothetical_utility(self._population, allocation)
+        return result.mean_utility if self._metric == "mean" else result.utility_level
+
+    def max_utility(self) -> float:
+        """The plateau: every job at its speed cap."""
+        if len(self._population) == 0:
+            return 1.0
+        return self.utility(self._demand + 1.0)
+
+
+def effective_capacity(total_capacity: Mhz, efficiency: float = 1.0) -> Mhz:
+    """Capacity the arbiter may hand out.
+
+    ``efficiency`` (0, 1] discounts for placement fragmentation -- the
+    divisible-CPU arbitration slightly overestimates what an integral
+    placement can deliver; a discount below 1 makes the arbiter's promises
+    conservatively realizable.
+    """
+    if not 0 < efficiency <= 1:
+        raise ConfigurationError("efficiency must be in (0, 1]")
+    if total_capacity < 0 or math.isinf(total_capacity):
+        raise ConfigurationError("total_capacity must be finite and non-negative")
+    return total_capacity * efficiency

@@ -1,0 +1,225 @@
+"""Hypothetical utility of the long-running workload (paper Section 2).
+
+Predicting job utility mid-run would normally require computing optimal
+schedules -- exponential in the number of nodes.  The paper's approximate
+technique instead assumes that **all incomplete jobs can be placed
+simultaneously** and that the workload's aggregate CPU power ``A`` can be
+**arbitrarily finely divided** among them so that the *expected utility is
+equalized* across jobs.
+
+For job ``j`` at time ``t`` with remaining work ``R_j``, speed cap
+``c_j``, absolute goal ``G_j`` and goal length ``T_j``:
+
+* the rate needed to reach utility ``u`` is ``x_j(u) = R_j / (G_j − u·T_j − t)``
+  (strictly increasing in ``u`` over its feasible range);
+* the job's ceiling is ``u_j^max = (G_j − t − R_j/c_j) / T_j`` -- beyond it
+  the speed cap binds and the job consumes exactly ``c_j``.
+
+The equalized level ``u*`` solves ``Σ_j min(x_j(u), c_j) = A``; the left
+side is continuous and non-decreasing in ``u``, so a bisection finds it.
+Everything is vectorized over the job population (numpy), keeping each
+control cycle O(n · iterations).
+
+The routine also powers two controller decisions:
+
+* per-job **target rates** ``min(x_j(u*), c_j)`` handed to the placement
+  solver (most-urgent jobs get the highest rates);
+* the workload's **hypothetical utility** -- the paper's Figure 1 plots
+  the population average, ``mean_j min(u*, u_j^max)``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ModelError
+from ..perf.jobmodel import JobPopulation
+from ..types import Mhz
+
+#: How far below the least-achievable job ceiling the bisection will search.
+#: A span of 8 means "up to 8 goal-lengths late"; beyond that the allocation
+#: is so scarce that rates are scaled proportionally instead (keeps the
+#: utility level finite, which the arbiter requires).
+UTILITY_SEARCH_SPAN = 8.0
+
+#: Bisection iterations; 2^-100 of the search span is far below float noise.
+_BISECT_ITERS = 100
+
+#: Relative tolerance when comparing allocation with the population cap.
+_REL_EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class HypotheticalAllocation:
+    """Result of equalizing hypothetical utility over a job population.
+
+    Attributes
+    ----------
+    utility_level:
+        The equalized level ``u*`` (the marginal utility of CPU).  When the
+        allocation covers every speed cap this is the largest per-job
+        ceiling; for an empty population it is 1.0 (fully satisfied).
+    rates:
+        Per-job CPU targets (MHz), ``Σ rates <= allocation`` (+ float slop).
+    utilities:
+        Per-job hypothetical utilities ``min(u*, u_j^max)``.
+    mean_utility:
+        Importance-weighted average of ``utilities`` -- the quantity the
+        paper's Figure 1 reports for the long-running workload.
+    consumed:
+        ``Σ rates``.
+    """
+
+    utility_level: float
+    rates: np.ndarray
+    utilities: np.ndarray
+    mean_utility: float
+    consumed: Mhz
+
+    def rate_of(self, population: JobPopulation, job_id: str) -> float:
+        """Convenience lookup of one job's target rate."""
+        try:
+            idx = population.job_ids.index(job_id)
+        except ValueError:
+            raise ModelError(f"job {job_id!r} not in population") from None
+        return float(self.rates[idx])
+
+
+def _weighted_mean(values: np.ndarray, weights: np.ndarray) -> float:
+    total_weight = float(weights.sum())
+    if total_weight <= 0:
+        # All-zero importance: fall back to the unweighted mean.
+        return float(values.mean())
+    return float(np.dot(values, weights) / total_weight)
+
+
+def equalize_hypothetical_utility(
+    population: JobPopulation, allocation: Mhz
+) -> HypotheticalAllocation:
+    """Divide ``allocation`` MHz among the jobs, equalizing expected utility.
+
+    Implements the paper's hypothetical-utility computation (Section 2).
+    See the module docstring for the mathematics; three regimes:
+
+    * **surplus** (``allocation >= Σ c_j``): every job runs at its cap and
+      achieves its ceiling utility;
+    * **equalizable**: the bisection finds ``u*`` with consumption equal
+      to the allocation;
+    * **starved** (the equalized level would fall below the search floor):
+      rates are scaled proportionally to fit and the level is clamped,
+      keeping the result finite and monotone in ``allocation``.
+    """
+    if allocation < 0:
+        raise ModelError(f"allocation must be non-negative, got {allocation}")
+    n = len(population)
+    if n == 0:
+        return HypotheticalAllocation(
+            utility_level=1.0,
+            rates=np.empty(0, dtype=float),
+            utilities=np.empty(0, dtype=float),
+            mean_utility=1.0,
+            consumed=0.0,
+        )
+
+    caps = population.caps
+    weights = population.importance
+    u_max = population.max_achievable_utility()
+    total_cap = float(caps.sum())
+
+    # Surplus: the allocation covers every cap; no trade-off to make.
+    if allocation >= total_cap * (1 - _REL_EPS):
+        rates = np.where(population.remaining > 0, caps, 0.0)
+        return HypotheticalAllocation(
+            utility_level=float(u_max.max()),
+            rates=rates,
+            utilities=u_max.copy(),
+            mean_utility=_weighted_mean(u_max, weights),
+            consumed=float(rates.sum()),
+        )
+
+    def consumed_at(u: float) -> float:
+        return float(np.minimum(population.required_rates(u), caps).sum())
+
+    u_hi = float(u_max.max())
+    u_lo = float(u_max.min()) - UTILITY_SEARCH_SPAN
+
+    if consumed_at(u_lo) > allocation:
+        # Starved regime: even the floor level over-consumes.  Scale the
+        # floor-level rates down proportionally; the level reported is the
+        # floor (finite), preserving monotonicity for the arbiter.
+        rates_floor = np.minimum(population.required_rates(u_lo), caps)
+        total = float(rates_floor.sum())
+        scale = allocation / total if total > 0 else 0.0
+        rates = rates_floor * scale
+        utilities = np.minimum(np.full(n, u_lo), u_max)
+        return HypotheticalAllocation(
+            utility_level=u_lo,
+            rates=rates,
+            utilities=utilities,
+            mean_utility=_weighted_mean(utilities, weights),
+            consumed=float(rates.sum()),
+        )
+
+    for _ in range(_BISECT_ITERS):
+        u_mid = 0.5 * (u_lo + u_hi)
+        if consumed_at(u_mid) > allocation:
+            u_hi = u_mid
+        else:
+            u_lo = u_mid
+    u_star = u_lo  # consumed_at(u_lo) <= allocation: never over-commits.
+
+    rates = np.minimum(population.required_rates(u_star), caps)
+    utilities = np.minimum(np.full(n, u_star), u_max)
+    return HypotheticalAllocation(
+        utility_level=u_star,
+        rates=rates,
+        utilities=utilities,
+        mean_utility=_weighted_mean(utilities, weights),
+        consumed=float(rates.sum()),
+    )
+
+
+def longrunning_max_utility_demand(population: JobPopulation) -> Mhz:
+    """CPU demand at which the long-running workload's utility peaks.
+
+    Every incomplete job running at its speed cap -- the paper's Figure 2
+    plots this as the "long running demand" curve.
+    """
+    if len(population) == 0:
+        return 0.0
+    return float(np.where(population.remaining > 0, population.caps, 0.0).sum())
+
+
+def mean_hypothetical_utility(population: JobPopulation, allocation: Mhz) -> float:
+    """Shortcut: the importance-weighted mean hypothetical utility at ``allocation``."""
+    return equalize_hypothetical_utility(population, allocation).mean_utility
+
+
+def utility_level(population: JobPopulation, allocation: Mhz) -> float:
+    """Shortcut: the equalized (marginal) utility level at ``allocation``."""
+    return equalize_hypothetical_utility(population, allocation).utility_level
+
+
+def hypothetical_completion_times(
+    population: JobPopulation, allocation: Mhz
+) -> np.ndarray:
+    """Per-job completion times under the equalized hypothetical rates.
+
+    ``inf`` for jobs whose equalized rate is zero (possible only in the
+    starved regime or for zero allocations).
+    """
+    result = equalize_hypothetical_utility(population, allocation)
+    with np.errstate(divide="ignore"):
+        durations = np.where(
+            population.remaining <= 0,
+            0.0,
+            np.where(
+                result.rates > 0,
+                population.remaining / np.maximum(result.rates, 1e-300),
+                math.inf,
+            ),
+        )
+    return population.time + durations

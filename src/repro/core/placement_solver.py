@@ -1,0 +1,566 @@
+"""Node-level placement solver.
+
+Turns the arbiter's divisible-CPU decision into an *integral* placement:
+which job VMs run on which nodes, where web-application instances live,
+and how much CPU each VM is granted -- subject to per-node CPU and memory
+capacity.  The solver is **incremental** in the spirit of the dynamic
+application placement algorithms the paper's framework builds on
+(Kimbrel et al.): it starts from the incumbent placement and bounds the
+number of disruptive changes (starts/suspends/resumes/migrations) per
+cycle, because each change has a real cost on the running system.
+
+Phases, in order:
+
+1. **Retention** -- running jobs stay put; their memory stays reserved.
+2. **Per-node CPU water-fill** -- retained jobs receive CPU up to their
+   equalized targets, sharing fairly when a node is tight.
+3. **Admission** -- waiting jobs (pending or suspended), most urgent
+   first, are placed on the node that can come closest to their target.
+4. **Eviction** -- a waiting job clearly more urgent than the least
+   urgent running job (per :class:`~repro.core.job_scheduler.EvictionPolicy`)
+   may displace it (suspend + start), if the change budget allows.
+5. **Migration rebalance** -- running jobs starved far below target are
+   moved to nodes that can serve them fully.
+6. **Web placement** -- each application's arbiter share is spread over
+   its instances (existing first, then new instances on the emptiest
+   nodes); instances left with no CPU are stopped, respecting
+   ``min_instances``.
+
+All iteration orders are sorted, so identical inputs yield identical
+placements (regression tests rely on this).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from ..cluster.node import NodeSpec
+from ..cluster.placement import Placement, PlacementEntry
+from ..config import SolverConfig
+from ..errors import ConfigurationError
+from ..types import Megabytes, Mhz, WorkloadKind
+from .job_scheduler import (
+    AppRequest,
+    EvictionPolicy,
+    JobRequest,
+    order_by_urgency,
+    split_runnable,
+)
+
+#: Allocation slivers below this many MHz are treated as zero.
+_MHZ_EPS = 1e-6
+
+
+@dataclass(slots=True)
+class _NodeState:
+    """Mutable residual capacity during solving."""
+
+    spec: NodeSpec
+    cpu: Mhz
+    mem: Megabytes
+
+    @property
+    def node_id(self) -> str:
+        return self.spec.node_id
+
+
+@dataclass
+class PlacementSolution:
+    """The solver's output for one control cycle."""
+
+    placement: Placement
+    job_rates: dict[str, Mhz]
+    app_allocations: dict[str, Mhz]
+    deferred_jobs: list[str] = field(default_factory=list)
+    unplaced_jobs: list[str] = field(default_factory=list)
+    evicted_jobs: list[str] = field(default_factory=list)
+    migrated_jobs: list[str] = field(default_factory=list)
+    started_instances: list[tuple[str, str]] = field(default_factory=list)
+    stopped_instances: list[tuple[str, str]] = field(default_factory=list)
+    changes: int = 0
+
+    @property
+    def satisfied_lr_demand(self) -> Mhz:
+        """Total CPU granted to jobs (Figure 2's satisfied LR demand)."""
+        return sum(self.job_rates.values())
+
+    @property
+    def satisfied_tx_demand(self) -> Mhz:
+        """Total CPU granted to web apps (Figure 2's satisfied TX demand)."""
+        return sum(self.app_allocations.values())
+
+
+def water_fill(targets: Sequence[Mhz], capacity: Mhz) -> list[Mhz]:
+    """Share ``capacity`` among ``targets`` max-min fairly, capped at targets.
+
+    Every target is served up to the common water level; targets below the
+    level are fully satisfied.  ``sum(result) == min(capacity, sum(targets))``
+    up to float precision.
+    """
+    if capacity < 0:
+        raise ConfigurationError("capacity must be non-negative")
+    n = len(targets)
+    if n == 0:
+        return []
+    total = sum(targets)
+    if total <= capacity:
+        return list(targets)
+    # Raise the water level cap by cap.
+    order = sorted(range(n), key=lambda i: targets[i])
+    alloc = [0.0] * n
+    remaining = capacity
+    active = n
+    for pos, i in enumerate(order):
+        share = remaining / active
+        if targets[i] <= share:
+            alloc[i] = targets[i]
+            remaining -= targets[i]
+        else:
+            # Everyone left (equal or larger targets) gets the even share.
+            for j in order[pos:]:
+                alloc[j] = remaining / active
+            remaining = 0.0
+            break
+        active -= 1
+    return alloc
+
+
+class PlacementSolver:
+    """Stateless solver: call :meth:`solve` once per control cycle."""
+
+    def __init__(self, config: SolverConfig | None = None) -> None:
+        self.config = config or SolverConfig()
+        self._eviction = EvictionPolicy(
+            self.config.eviction_margin, self.config.protect_completion
+        )
+
+    # ------------------------------------------------------------------
+    def solve(
+        self,
+        nodes: Sequence[NodeSpec],
+        apps: Sequence[AppRequest],
+        jobs: Sequence[JobRequest],
+        lr_target: Optional[Mhz] = None,
+    ) -> PlacementSolution:
+        """Compute a feasible placement for one cycle.
+
+        ``nodes`` must be the *active* nodes; requests referring to other
+        nodes are treated as displaced (their VMs need re-placement).
+
+        ``lr_target`` is the arbiter's aggregate long-running share.  When
+        memory slots prevent placing every job, the share intended for the
+        waiting jobs is *redistributed* to the placed ones (up to their
+        speed caps) instead of idling -- the placed jobs run faster now
+        and the waiting jobs take over freed slots later, which is how a
+        work-conserving hypervisor realizes the divisible-CPU decision.
+        ``None`` disables redistribution (each job is capped at its own
+        target; used by baselines that set explicit per-job rates).
+        """
+        state = {
+            n.node_id: _NodeState(spec=n, cpu=n.cpu_capacity, mem=n.memory_mb)
+            for n in sorted(nodes, key=lambda n: n.node_id)
+        }
+        solution = PlacementSolution(
+            placement=Placement(), job_rates={}, app_allocations={}
+        )
+        budget = [self.config.change_budget]  # boxed; None = unlimited
+
+        # Memory of already-running web instances is committed before any
+        # job decisions, so admissions cannot squat on it.
+        self._reserve_web_memory(apps, state)
+
+        running, waiting = self._partition_jobs(jobs, state)
+        self._retain_and_waterfill(running, state, solution)
+        waiting = order_by_urgency(waiting)
+        runnable, deferred = split_runnable(waiting, self.config.min_job_rate)
+        solution.deferred_jobs = [r.job_id for r in deferred]
+
+        leftover = self._admit(runnable, state, solution, budget)
+        leftover = self._evict_and_admit(leftover, running, state, solution, budget)
+        solution.unplaced_jobs = [r.job_id for r in leftover]
+        self._rebalance(running, state, solution, budget)
+        self._boost_jobs(jobs, state, solution, lr_target)
+        self._place_web(apps, state, solution, budget)
+        return solution
+
+    # ------------------------------------------------------------------
+    # Phase helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _reserve_web_memory(
+        apps: Sequence[AppRequest], state: dict[str, _NodeState]
+    ) -> None:
+        """Commit the memory of instances that enter the cycle running."""
+        for app in sorted(apps, key=lambda a: a.app_id):
+            for node_id in sorted(app.current_nodes):
+                if node_id in state:
+                    state[node_id].mem -= app.instance_memory_mb
+                    if state[node_id].mem < -1e-6:
+                        raise ConfigurationError(
+                            f"node {node_id}: running web instances exceed memory"
+                        )
+
+    @staticmethod
+    def _partition_jobs(
+        jobs: Sequence[JobRequest], state: dict[str, _NodeState]
+    ) -> tuple[list[JobRequest], list[JobRequest]]:
+        """Split into (retained running, waiting) requests.
+
+        Jobs whose recorded host is not an active node are displaced and
+        join the waiting set.
+        """
+        running: list[JobRequest] = []
+        waiting: list[JobRequest] = []
+        for request in sorted(jobs, key=lambda r: r.job_id):
+            if request.current_node is not None and request.current_node in state:
+                running.append(request)
+            else:
+                waiting.append(request)
+        return running, waiting
+
+    def _retain_and_waterfill(
+        self,
+        running: list[JobRequest],
+        state: dict[str, _NodeState],
+        solution: PlacementSolution,
+    ) -> None:
+        """Phases 1-2: keep running jobs in place, grant CPU by water-fill."""
+        by_node: dict[str, list[JobRequest]] = {}
+        for request in running:
+            assert request.current_node is not None
+            by_node.setdefault(request.current_node, []).append(request)
+        for node_id in sorted(by_node):
+            node = state[node_id]
+            members = sorted(by_node[node_id], key=lambda r: r.job_id)
+            targets = [min(r.target_rate, r.speed_cap) for r in members]
+            grants = water_fill(targets, node.cpu)
+            for request, grant in zip(members, grants):
+                node.mem -= request.memory_mb
+                node.cpu -= grant
+                self._place_job(solution, request, node_id, grant)
+        # Memory feasibility is inherited from the previous (validated)
+        # placement; a defensive check still guards solver-input bugs.
+        for node_id, node in state.items():
+            if node.mem < -1e-6:
+                raise ConfigurationError(
+                    f"node {node_id}: retained jobs exceed memory ({node.mem:.1f} MB)"
+                )
+
+    def _admit(
+        self,
+        runnable: list[JobRequest],
+        state: dict[str, _NodeState],
+        solution: PlacementSolution,
+        budget: list[Optional[int]],
+    ) -> list[JobRequest]:
+        """Phase 3: place waiting jobs, most urgent first.  Returns leftovers."""
+        leftover: list[JobRequest] = []
+        for request in runnable:
+            if not self._budget_allows(budget, 1):
+                leftover.append(request)
+                continue
+            node_id = self._best_node_for(request, state)
+            if node_id is None:
+                leftover.append(request)
+                continue
+            node = state[node_id]
+            grant = min(request.target_rate, request.speed_cap, node.cpu)
+            node.mem -= request.memory_mb
+            node.cpu -= grant
+            self._place_job(solution, request, node_id, grant)
+            self._spend(budget, 1)
+            solution.changes += 1
+        return leftover
+
+    def _evict_and_admit(
+        self,
+        leftover: list[JobRequest],
+        running: list[JobRequest],
+        state: dict[str, _NodeState],
+        solution: PlacementSolution,
+        budget: list[Optional[int]],
+    ) -> list[JobRequest]:
+        """Phase 4: displace clearly less urgent running jobs."""
+        still_unplaced: list[JobRequest] = []
+        # Only jobs retained this cycle (not freshly admitted) are victims.
+        evictable = {
+            r.job_id: r for r in running if r.job_id in solution.job_rates
+        }
+        evictions = 0
+        for request in leftover:
+            if evictions >= self.config.max_evictions:
+                still_unplaced.append(request)
+                continue
+            victim = self._eviction.pick_victim(request, list(evictable.values()))
+            if victim is None or not self._budget_allows(budget, 2):
+                still_unplaced.append(request)
+                continue
+            victim_node = victim.current_node
+            assert victim_node is not None
+            node = state[victim_node]
+            # Undo the victim's placement.
+            node.mem += victim.memory_mb
+            node.cpu += solution.job_rates.pop(victim.job_id)
+            solution.placement.remove(victim.vm_id)
+            solution.evicted_jobs.append(victim.job_id)
+            del evictable[victim.job_id]
+            # Place the more urgent job in the freed slot.
+            grant = min(request.target_rate, request.speed_cap, node.cpu)
+            node.mem -= request.memory_mb
+            node.cpu -= grant
+            self._place_job(solution, request, victim_node, grant)
+            self._spend(budget, 2)
+            solution.changes += 2
+            evictions += 1
+        return still_unplaced
+
+    def _rebalance(
+        self,
+        running: list[JobRequest],
+        state: dict[str, _NodeState],
+        solution: PlacementSolution,
+        budget: list[Optional[int]],
+    ) -> None:
+        """Phase 5: migrate starved running jobs to roomier nodes."""
+        if self.config.max_migrations == 0:
+            return
+        starved: list[tuple[float, JobRequest]] = []
+        for request in running:
+            granted = solution.job_rates.get(request.job_id)
+            if granted is None:  # evicted above
+                continue
+            target = min(request.target_rate, request.speed_cap)
+            if target > 0 and granted < target * self.config.migration_deficit:
+                starved.append((target - granted, request))
+        starved.sort(key=lambda pair: (-pair[0], pair[1].job_id))
+        migrated = 0
+        for deficit, request in starved:
+            if migrated >= self.config.max_migrations:
+                break
+            if not self._budget_allows(budget, 1):
+                break
+            target = min(request.target_rate, request.speed_cap)
+            dest = self._node_with_room(request, state, need_cpu=target)
+            if dest is None or dest == request.current_node:
+                continue
+            src = state[request.current_node]  # type: ignore[index]
+            src.mem += request.memory_mb
+            src.cpu += solution.job_rates.pop(request.job_id)
+            solution.placement.remove(request.vm_id)
+            node = state[dest]
+            grant = min(target, node.cpu)
+            node.mem -= request.memory_mb
+            node.cpu -= grant
+            self._place_job(solution, request, dest, grant)
+            solution.migrated_jobs.append(request.job_id)
+            self._spend(budget, 1)
+            solution.changes += 1
+            migrated += 1
+
+    def _boost_jobs(
+        self,
+        jobs: Sequence[JobRequest],
+        state: dict[str, _NodeState],
+        solution: PlacementSolution,
+        lr_target: Optional[Mhz],
+    ) -> None:
+        """Redistribute the unplaced long-running share to placed jobs.
+
+        Raises placed jobs' grants toward their speed caps (water-filling
+        the headroom per node) until either the aggregate ``lr_target`` is
+        consumed or every placed job is capped.  Free: pure CPU-share
+        adjustment, no placement change.
+        """
+        if lr_target is None:
+            return
+        room = lr_target - sum(solution.job_rates.values())
+        if room <= _MHZ_EPS:
+            return
+        caps = {r.vm_id: r.speed_cap for r in jobs}
+        job_ids = {r.vm_id: r.job_id for r in jobs}
+        for node_id in sorted(state):
+            if room <= _MHZ_EPS:
+                break
+            node = state[node_id]
+            entries = sorted(
+                (
+                    e
+                    for e in solution.placement.entries_on(node_id)
+                    if e.vm_id in caps
+                ),
+                key=lambda e: e.vm_id,
+            )
+            if not entries:
+                continue
+            headroom = [max(caps[e.vm_id] - e.cpu_mhz, 0.0) for e in entries]
+            # Residuals can carry -1e-14-scale float dust after repeated
+            # subtraction; clamp before sharing.
+            budget_here = max(min(node.cpu, room), 0.0)
+            extra = water_fill(headroom, budget_here)
+            for entry, boost in zip(entries, extra):
+                if boost <= _MHZ_EPS:
+                    continue
+                new_grant = entry.cpu_mhz + boost
+                solution.placement.update_cpu(entry.vm_id, new_grant)
+                solution.job_rates[job_ids[entry.vm_id]] = new_grant
+                node.cpu -= boost
+                room -= boost
+
+    def _place_web(
+        self,
+        apps: Sequence[AppRequest],
+        state: dict[str, _NodeState],
+        solution: PlacementSolution,
+        budget: list[Optional[int]],
+    ) -> None:
+        """Phase 6: distribute app targets over instances; start/stop instances."""
+        for app in sorted(apps, key=lambda a: a.app_id):
+            remaining = app.target_allocation
+            instance_nodes = sorted(n for n in app.current_nodes if n in state)
+            grants: dict[str, Mhz] = {}
+
+            # Fair first pass over existing instances, greedy second pass.
+            if instance_nodes:
+                fair = remaining / len(instance_nodes)
+                for node_id in instance_nodes:
+                    give = min(state[node_id].cpu, fair, remaining)
+                    grants[node_id] = give
+                    state[node_id].cpu -= give
+                    remaining -= give
+                for node_id in sorted(instance_nodes, key=lambda n: -state[n].cpu):
+                    if remaining <= _MHZ_EPS:
+                        break
+                    give = min(state[node_id].cpu, remaining)
+                    grants[node_id] += give
+                    state[node_id].cpu -= give
+                    remaining -= give
+
+            # Start new instances while a meaningful share is unplaced.
+            threshold = app.target_allocation * self.config.web_start_threshold
+            count = len(instance_nodes)
+            candidates = sorted(
+                (n for n in state if n not in app.current_nodes),
+                key=lambda n: (-state[n].cpu, n),
+            )
+            for node_id in candidates:
+                if remaining <= max(threshold, _MHZ_EPS) or count >= app.max_instances:
+                    break
+                node = state[node_id]
+                if node.mem < app.instance_memory_mb or node.cpu <= _MHZ_EPS:
+                    continue
+                if not self._budget_allows(budget, 1):
+                    break
+                give = min(node.cpu, remaining)
+                node.mem -= app.instance_memory_mb
+                node.cpu -= give
+                grants[node_id] = give
+                solution.started_instances.append((app.app_id, node_id))
+                self._spend(budget, 1)
+                solution.changes += 1
+                count += 1
+                remaining -= give
+
+            # Stop idle instances (never below min_instances); their memory
+            # returns to the pool for apps processed later this cycle.
+            if self.config.stop_idle_instances:
+                for node_id in sorted(instance_nodes):
+                    if count <= app.min_instances:
+                        break
+                    if grants.get(node_id, 0.0) <= _MHZ_EPS:
+                        if not self._budget_allows(budget, 1):
+                            break
+                        grants.pop(node_id, None)
+                        state[node_id].mem += app.instance_memory_mb
+                        solution.stopped_instances.append((app.app_id, node_id))
+                        self._spend(budget, 1)
+                        solution.changes += 1
+                        count -= 1
+                        continue
+
+            # Record placement entries (memory was reserved up front for
+            # retained instances and at start time for new ones).
+            total = 0.0
+            for node_id, grant in sorted(grants.items()):
+                solution.placement.add(
+                    PlacementEntry(
+                        vm_id=app.instance_vm_id(node_id),
+                        node_id=node_id,
+                        cpu_mhz=grant,
+                        memory_mb=app.instance_memory_mb,
+                        kind=WorkloadKind.TRANSACTIONAL,
+                    )
+                )
+                total += grant
+            solution.app_allocations[app.app_id] = total
+
+    # ------------------------------------------------------------------
+    # Small utilities
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _place_job(
+        solution: PlacementSolution, request: JobRequest, node_id: str, grant: Mhz
+    ) -> None:
+        grant = max(grant, 0.0)
+        solution.placement.add(
+            PlacementEntry(
+                vm_id=request.vm_id,
+                node_id=node_id,
+                cpu_mhz=grant,
+                memory_mb=request.memory_mb,
+                kind=WorkloadKind.LONG_RUNNING,
+            )
+        )
+        solution.job_rates[request.job_id] = grant
+
+    def _best_node_for(
+        self, request: JobRequest, state: dict[str, _NodeState]
+    ) -> Optional[str]:
+        """Node giving the job the most CPU (ties: less spare memory, id)."""
+        best: Optional[str] = None
+        best_key: tuple[float, float, str] | None = None
+        want = min(request.target_rate, request.speed_cap)
+        for node_id in sorted(state):
+            node = state[node_id]
+            if node.mem < request.memory_mb:
+                continue
+            grant = min(want, node.cpu)
+            if grant < self.config.min_job_rate:
+                continue
+            key = (-grant, node.mem, node_id)
+            if best_key is None or key < best_key:
+                best, best_key = node_id, key
+        return best
+
+    @staticmethod
+    def _node_with_room(
+        request: JobRequest, state: dict[str, _NodeState], need_cpu: Mhz
+    ) -> Optional[str]:
+        """A node that can host the job at its full target, or ``None``."""
+        for node_id in sorted(state, key=lambda n: (-state[n].cpu, n)):
+            node = state[node_id]
+            if node.mem >= request.memory_mb and node.cpu >= need_cpu:
+                return node_id
+        return None
+
+    @staticmethod
+    def _budget_allows(budget: list[Optional[int]], cost: int) -> bool:
+        return budget[0] is None or budget[0] >= cost
+
+    @staticmethod
+    def _spend(budget: list[Optional[int]], cost: int) -> None:
+        if budget[0] is not None:
+            budget[0] -= cost
+
+
+def placement_efficiency(solution: PlacementSolution, capacity: Mhz) -> float:
+    """Fraction of cluster CPU the integral placement managed to grant.
+
+    Diagnostic used when calibrating the arbiter's effective-capacity
+    discount (see :func:`repro.core.demand.effective_capacity`).
+    """
+    if capacity <= 0:
+        raise ConfigurationError("capacity must be positive")
+    granted = solution.satisfied_lr_demand + solution.satisfied_tx_demand
+    return min(granted / capacity, 1.0)

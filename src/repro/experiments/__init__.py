@@ -1,0 +1,60 @@
+"""Experiment harness: scenarios, the end-to-end runner, figure
+regeneration, reporting and parameter sweeps."""
+
+from .figures import (
+    figure1_series,
+    figure2_series,
+    render_figure1,
+    render_figure2,
+    run_paper_experiment,
+    write_csv,
+)
+from .report import comparison_table, format_table, summarize_run
+from .runner import (
+    ExperimentResult,
+    ExperimentRunner,
+    PlacementPolicy,
+    PolicyFactory,
+    default_policy_factory,
+    run_scenario,
+)
+from .scenario import (
+    AppWorkload,
+    NodeFailure,
+    Scenario,
+    paper_scenario,
+    paper_tx_app,
+    scaled_paper_scenario,
+    smoke_scenario,
+)
+from .sweeps import SweepPoint, SweepResult, default_metrics, run_sweep, sweep_table
+
+__all__ = [
+    "Scenario",
+    "AppWorkload",
+    "NodeFailure",
+    "paper_scenario",
+    "scaled_paper_scenario",
+    "smoke_scenario",
+    "paper_tx_app",
+    "ExperimentRunner",
+    "ExperimentResult",
+    "PlacementPolicy",
+    "PolicyFactory",
+    "default_policy_factory",
+    "run_scenario",
+    "figure1_series",
+    "figure2_series",
+    "render_figure1",
+    "render_figure2",
+    "run_paper_experiment",
+    "write_csv",
+    "summarize_run",
+    "comparison_table",
+    "format_table",
+    "run_sweep",
+    "sweep_table",
+    "SweepResult",
+    "SweepPoint",
+    "default_metrics",
+]

@@ -1,0 +1,97 @@
+"""Experiment reporting helpers.
+
+Formats run results as text tables for the benches, the examples and
+EXPERIMENTS.md.  Everything returns strings; nothing prints directly, so
+callers control where output goes.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from ..analysis.stats import job_outcome_stats
+from .runner import ExperimentResult
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], indent: str = ""
+) -> str:
+    """Fixed-width text table (headers + rows of stringifiable cells)."""
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    for r, row in enumerate(cells):
+        line = indent + "  ".join(c.ljust(w) for c, w in zip(row, widths))
+        lines.append(line.rstrip())
+        if r == 0:
+            lines.append(indent + "  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def summarize_run(result: ExperimentResult, label: str = "") -> str:
+    """One-paragraph run summary: utilities, allocations, job outcomes."""
+    rec = result.recorder
+    horizon = result.scenario.horizon
+    outcome = job_outcome_stats(result.jobs, horizon)
+    tx_u = rec.series("tx_utility").time_average(0.0, horizon)
+    lr_u = rec.series("lr_utility").time_average(0.0, horizon)
+    tx_a = rec.series("tx_allocation").time_average(0.0, horizon)
+    lr_a = rec.series("lr_allocation").time_average(0.0, horizon)
+    log = result.action_log
+    name = label or result.scenario.name
+    lines = [
+        f"run {name!r}: {result.cycles} control cycles over {horizon:.0f} s",
+        (
+            f"  time-avg utility: tx={tx_u:.3f} lr={lr_u:.3f}; "
+            f"time-avg allocation: tx={tx_a:.0f} MHz lr={lr_a:.0f} MHz"
+        ),
+        (
+            f"  jobs: {outcome.completed}/{outcome.submitted} completed, "
+            f"{outcome.on_time} on time; mean achieved utility "
+            f"{outcome.mean_utility:.3f}; mean tardiness {outcome.mean_tardiness:.0f} s"
+        ),
+        (
+            f"  actions: {log.starts} starts, {log.stops} stops, "
+            f"{log.suspensions} suspends, {log.resumptions} resumes, "
+            f"{log.migrations} migrations"
+        ),
+    ]
+    return "\n".join(lines)
+
+
+def comparison_table(results: Mapping[str, ExperimentResult]) -> str:
+    """Side-by-side policy comparison (used by the BASE bench)."""
+    headers = [
+        "policy",
+        "tx utility",
+        "lr utility",
+        "min utility",
+        "jobs done",
+        "on-time",
+        "mean tardiness (s)",
+        "disruptive actions",
+    ]
+    rows = []
+    for name, result in results.items():
+        rec = result.recorder
+        horizon = result.scenario.horizon
+        outcome = job_outcome_stats(result.jobs, horizon)
+        tx_u = rec.series("tx_utility").time_average(0.0, horizon)
+        lr_u = rec.series("lr_utility").time_average(0.0, horizon)
+        rows.append(
+            [
+                name,
+                f"{tx_u:.3f}",
+                f"{lr_u:.3f}",
+                f"{min(tx_u, lr_u):.3f}",
+                f"{outcome.completed}/{outcome.submitted}",
+                (
+                    f"{outcome.on_time_fraction:.0%}"
+                    if outcome.completed
+                    else "n/a"
+                ),
+                f"{outcome.mean_tardiness:.0f}" if outcome.completed else "n/a",
+                str(result.action_log.disruptive_total),
+            ]
+        )
+    return format_table(headers, rows)

@@ -1,0 +1,469 @@
+"""End-to-end experiment execution.
+
+:class:`ExperimentRunner` wires a :class:`~repro.experiments.scenario.Scenario`
+into the discrete-event simulator: it submits jobs, runs the control loop
+on schedule, *enacts* the controller's actions with their virtualization
+costs (start delays, suspend checkpoint losses, resume delays, migration
+pauses), integrates fluid job progress, injects node failures, and records
+the time series the paper's figures are built from.
+
+The runner treats the decision maker as a black-box
+:class:`PlacementPolicy`, so the paper's utility-driven controller and
+every baseline run under identical conditions.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Mapping, Optional, Protocol, Sequence
+
+import numpy as np
+
+from ..cluster.actions import (
+    ActionLog,
+    AdjustCpu,
+    MigrateVm,
+    PlacementAction,
+    ResumeVm,
+    StartVm,
+    StopVm,
+    SuspendVm,
+)
+from ..cluster.cluster import Cluster
+from ..cluster.node import NodeSpec
+from ..cluster.placement import Placement
+from ..cluster.vm import VmState
+from ..core.controller import ControlDecision, UtilityDrivenController
+from ..core.hypothetical import (
+    longrunning_max_utility_demand,
+    mean_hypothetical_utility,
+)
+from ..errors import SimulationError
+from ..perf.jobmodel import snapshot_jobs
+from ..sim.engine import ORDER_COMPLETION, ORDER_CONTROL, ORDER_DEFAULT, Simulator
+from ..sim.events import Event
+from ..sim.recorder import Recorder
+from ..sim.rng import RngRegistry
+from ..types import Seconds
+from ..utility.longrunning import JobUtility
+from ..utility.transactional import TransactionalUtility
+from ..workloads.jobs import Job, JobPhase
+from ..workloads.transactional import TransactionalApp
+from .scenario import Scenario
+
+
+class PlacementPolicy(Protocol):
+    """Decision-maker interface the runner drives.
+
+    Implemented by :class:`~repro.core.controller.UtilityDrivenController`
+    and by every baseline in :mod:`repro.baselines`.
+    """
+
+    def observe_app(
+        self, app_id: str, *, load: float, service_cycles: Optional[float] = None
+    ) -> None:
+        """Receive one monitoring sample for a transactional app."""
+        ...
+
+    def decide(
+        self,
+        t: Seconds,
+        *,
+        nodes: Sequence[NodeSpec],
+        jobs: Sequence[Job],
+        current_placement: Placement,
+        vm_states: Mapping[str, VmState],
+        app_nodes: Mapping[str, frozenset[str]],
+    ) -> ControlDecision:
+        """Produce the cycle's placement decision."""
+        ...
+
+
+#: Factory building a policy for a scenario (lets experiments swap baselines).
+PolicyFactory = Callable[[Scenario], PlacementPolicy]
+
+
+def default_policy_factory(scenario: Scenario) -> PlacementPolicy:
+    """The paper's controller with the scenario's configuration."""
+    return UtilityDrivenController(
+        [workload.spec for workload in scenario.apps], scenario.controller
+    )
+
+
+@dataclass
+class ExperimentResult:
+    """Everything an experiment produced."""
+
+    scenario: Scenario
+    recorder: Recorder
+    jobs: list[Job]
+    action_log: ActionLog
+    final_placement: Placement
+    cycles: int
+
+    def job_outcomes(self) -> dict[str, float]:
+        """Aggregate SLA outcomes over *completed* jobs."""
+        utility = JobUtility()
+        completed = [j for j in self.jobs if j.phase is JobPhase.COMPLETED]
+        total = len([j for j in self.jobs if j.spec.submit_time < math.inf])
+        if not completed:
+            return {
+                "completed": 0.0,
+                "submitted": float(total),
+                "mean_utility": math.nan,
+                "on_time_fraction": math.nan,
+                "mean_tardiness": math.nan,
+            }
+        utilities = [utility.achieved(j) for j in completed]
+        tardiness = [j.tardiness for j in completed]
+        return {
+            "completed": float(len(completed)),
+            "submitted": float(total),
+            "mean_utility": float(np.mean(utilities)),
+            "on_time_fraction": float(np.mean([t == 0.0 for t in tardiness])),
+            "mean_tardiness": float(np.mean(tardiness)),
+        }
+
+
+class ExperimentRunner:
+    """Runs one scenario under one placement policy."""
+
+    def __init__(
+        self,
+        scenario: Scenario,
+        policy_factory: Optional[PolicyFactory] = None,
+    ) -> None:
+        self.scenario = scenario
+        self._policy = (policy_factory or default_policy_factory)(scenario)
+        self._rngs = RngRegistry(scenario.seed)
+        self._sim = Simulator()
+        self._cluster: Cluster = scenario.build_cluster()
+        self._apps: dict[str, TransactionalApp] = {
+            w.spec.app_id: TransactionalApp(w.spec, w.profile)
+            for w in scenario.apps
+        }
+        self._tx_utilities = {
+            w.spec.app_id: TransactionalUtility(w.spec.rt_goal) for w in scenario.apps
+        }
+        self._jobs: dict[str, Job] = {
+            spec.job_id: Job(spec) for spec in scenario.job_specs
+        }
+        self._vm_to_job: dict[str, str] = {
+            job.vm.vm_id: job_id for job_id, job in self._jobs.items()
+        }
+        self._placement = Placement()
+        self._completion_events: dict[str, Event] = {}
+        self._rate_events: dict[str, Event] = {}
+        self._recorder = Recorder()
+        self._action_log = ActionLog()
+        self._cycles = 0
+        self._measure_rng = self._rngs.stream("measurement-noise")
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def run(self) -> ExperimentResult:
+        """Execute the scenario to its horizon and return the result."""
+        scenario = self.scenario
+        # Control cycles: first at t=0 (jobs present at t=0 get placed then).
+        self._sim.every(
+            scenario.controller.control_cycle,
+            self._control_cycle,
+            start=0.0,
+            order=ORDER_CONTROL,
+            tag="control",
+            until=scenario.horizon,
+        )
+        for failure in scenario.failures:
+            self._sim.at(
+                failure.at,
+                lambda t, nid=failure.node_id: self._fail_node(t, nid),
+                order=ORDER_DEFAULT,
+                tag="node-failure",
+            )
+            if failure.restore_at is not None:
+                self._sim.at(
+                    failure.restore_at,
+                    lambda t, nid=failure.node_id: self._cluster.restore_node(nid),
+                    order=ORDER_DEFAULT,
+                    tag="node-restore",
+                )
+        self._sim.run(until=scenario.horizon)
+        return ExperimentResult(
+            scenario=scenario,
+            recorder=self._recorder,
+            jobs=list(self._jobs.values()),
+            action_log=self._action_log,
+            final_placement=self._placement,
+            cycles=self._cycles,
+        )
+
+    # ------------------------------------------------------------------
+    # Control loop
+    # ------------------------------------------------------------------
+    def _control_cycle(self, t: Seconds) -> None:
+        self._advance_running_jobs(t)
+        self._feed_observations(t)
+        decision = self._policy.decide(
+            t,
+            nodes=self._cluster.active_nodes(),
+            jobs=list(self._jobs.values()),
+            current_placement=self._placement,
+            vm_states=self._vm_states(),
+            app_nodes=self._app_nodes(),
+        )
+        decision.placement.validate(self._cluster)
+        for action in decision.actions:
+            self._apply(action, t)
+        self._action_log.count(list(decision.actions))
+        self._placement = decision.placement.copy()
+        self._reschedule_completions(t)
+        self._record(t, decision)
+        self._cycles += 1
+
+    def _advance_running_jobs(self, t: Seconds) -> None:
+        for job in self._jobs.values():
+            if job.phase is JobPhase.RUNNING:
+                job.advance_to(t)
+
+    def _feed_observations(self, t: Seconds) -> None:
+        noise = self.scenario.noise
+        for app_id in sorted(self._apps):
+            app = self._apps[app_id]
+            true_load = app.arrival_rate(t)
+            observed_load = true_load * self._lognoise(noise.throughput_rel_std)
+            observed_cycles = app.spec.mean_service_cycles * self._lognoise(
+                noise.service_cycles_rel_std
+            )
+            self._policy.observe_app(
+                app_id, load=observed_load, service_cycles=observed_cycles
+            )
+
+    # ------------------------------------------------------------------
+    # Action enactment
+    # ------------------------------------------------------------------
+    def _apply(self, action: PlacementAction, t: Seconds) -> None:
+        costs = self.scenario.costs
+        if isinstance(action, StartVm):
+            if action.vm_id in self._vm_to_job:
+                job = self._job_of(action.vm_id)
+                job.start(t, action.node_id, 0.0)
+                self._schedule_rate(job, t + costs.start_delay, action.cpu_mhz)
+            else:
+                app_id, node_id = self._parse_instance(action.vm_id)
+                self._apps[app_id].start_instance(t, node_id, action.cpu_mhz)
+        elif isinstance(action, StopVm):
+            if action.vm_id in self._vm_to_job:
+                self._cancel_events(self._vm_to_job[action.vm_id])
+                self._job_of(action.vm_id).cancel(t)
+            else:
+                app_id, node_id = self._parse_instance(action.vm_id)
+                self._apps[app_id].stop_instance(node_id)
+        elif isinstance(action, SuspendVm):
+            job = self._job_of(action.vm_id)
+            self._cancel_events(job.job_id)
+            loss = costs.suspend_checkpoint_loss * job.rate
+            job.suspend(t, work_lost=loss)
+        elif isinstance(action, ResumeVm):
+            job = self._job_of(action.vm_id)
+            self._cancel_events(job.job_id)
+            job.start(t, action.node_id, 0.0)
+            self._schedule_rate(job, t + costs.resume_delay, action.cpu_mhz)
+        elif isinstance(action, MigrateVm):
+            job = self._job_of(action.vm_id)
+            self._cancel_events(job.job_id)
+            job.migrate(t, action.dst_node_id, 0.0)
+            self._schedule_rate(job, t + costs.migrate_pause, action.cpu_mhz)
+        elif isinstance(action, AdjustCpu):
+            if action.vm_id in self._vm_to_job:
+                job = self._job_of(action.vm_id)
+                if job.job_id in self._rate_events:
+                    # Still in a start/resume/migrate pause: retarget the
+                    # pending rate instead of applying it early.
+                    pending = self._rate_events.pop(job.job_id)
+                    when = pending.time
+                    pending.cancel()
+                    self._schedule_rate(job, when, action.cpu_mhz)
+                else:
+                    job.set_rate(t, action.cpu_mhz)
+            else:
+                app_id, node_id = self._parse_instance(action.vm_id)
+                self._apps[app_id].set_instance_allocation(node_id, action.cpu_mhz)
+        else:  # pragma: no cover - exhaustive over the action union
+            raise SimulationError(f"unknown action {action!r}")
+
+    def _schedule_rate(self, job: Job, when: Seconds, rate: float) -> None:
+        def fire(t2: Seconds, job_id: str = job.job_id) -> None:
+            self._rate_events.pop(job_id, None)
+            target = self._jobs[job_id]
+            if target.phase is not JobPhase.RUNNING:
+                return  # suspended/failed in the meantime
+            target.set_rate(t2, rate)
+            self._schedule_completion(target, t2)
+
+        self._rate_events[job.job_id] = self._sim.at(
+            when, fire, order=ORDER_DEFAULT, tag=f"rate:{job.job_id}"
+        )
+
+    def _cancel_events(self, job_id: str) -> None:
+        for registry in (self._completion_events, self._rate_events):
+            event = registry.pop(job_id, None)
+            if event is not None and not event.fired:
+                event.cancel()
+
+    # ------------------------------------------------------------------
+    # Completions
+    # ------------------------------------------------------------------
+    def _reschedule_completions(self, t: Seconds) -> None:
+        for job_id in sorted(self._jobs):
+            job = self._jobs[job_id]
+            if job.phase is JobPhase.RUNNING and job.job_id not in self._rate_events:
+                self._schedule_completion(job, t)
+
+    def _schedule_completion(self, job: Job, t: Seconds) -> None:
+        event = self._completion_events.pop(job.job_id, None)
+        if event is not None and not event.fired:
+            event.cancel()
+        when = job.predicted_completion(t)
+        if math.isinf(when):
+            return
+        self._completion_events[job.job_id] = self._sim.at(
+            max(when, t),
+            lambda t2, job_id=job.job_id: self._complete(job_id, t2),
+            order=ORDER_COMPLETION,
+            tag=f"complete:{job.job_id}",
+        )
+
+    def _complete(self, job_id: str, t: Seconds) -> None:
+        job = self._jobs[job_id]
+        self._completion_events.pop(job_id, None)
+        job.complete(t)
+        if job.vm.vm_id in self._placement:
+            self._placement.remove(job.vm.vm_id)
+        self._recorder.bump("jobs_completed")
+        self._recorder.record(
+            "job_achieved_utility", t, JobUtility().achieved(job)
+        )
+
+    # ------------------------------------------------------------------
+    # Failures
+    # ------------------------------------------------------------------
+    def _fail_node(self, t: Seconds, node_id: str) -> None:
+        self._cluster.fail_node(node_id)
+        costs = self.scenario.costs
+        for entry in list(self._placement.entries_on(node_id)):
+            if entry.vm_id in self._vm_to_job:
+                job = self._job_of(entry.vm_id)
+                self._cancel_events(job.job_id)
+                if job.phase is JobPhase.RUNNING:
+                    # Crash-suspend: loses the checkpoint window's progress.
+                    job.suspend(t, work_lost=costs.suspend_checkpoint_loss * job.rate)
+            else:
+                app_id, inst_node = self._parse_instance(entry.vm_id)
+                self._apps[app_id].evacuate_node(inst_node)
+            self._placement.remove(entry.vm_id)
+        self._recorder.bump("node_failures")
+
+    # ------------------------------------------------------------------
+    # State views handed to the policy
+    # ------------------------------------------------------------------
+    def _vm_states(self) -> dict[str, VmState]:
+        states: dict[str, VmState] = {}
+        for job in self._jobs.values():
+            states[job.vm.vm_id] = job.vm.state
+        for app_id in sorted(self._apps):
+            for node_id in self._apps[app_id].instance_nodes:
+                states[f"tx:{app_id}@{node_id}"] = VmState.RUNNING
+        return states
+
+    def _app_nodes(self) -> dict[str, frozenset[str]]:
+        return {
+            app_id: frozenset(self._apps[app_id].instance_nodes)
+            for app_id in sorted(self._apps)
+        }
+
+    # ------------------------------------------------------------------
+    # Measurement and recording
+    # ------------------------------------------------------------------
+    def _lognoise(self, rel_std: float) -> float:
+        if rel_std <= 0:
+            return 1.0
+        sigma = math.sqrt(math.log(1 + rel_std**2))
+        return float(self._measure_rng.lognormal(mean=-sigma**2 / 2, sigma=sigma))
+
+    def _record(self, t: Seconds, decision: ControlDecision) -> None:
+        rec = self._recorder
+        noise = self.scenario.noise
+        solution = decision.solution
+
+        population = snapshot_jobs(self._jobs.values(), t)
+        satisfied_lr = solution.satisfied_lr_demand
+        rec.record("lr_allocation", t, satisfied_lr)
+        rec.record("lr_demand", t, longrunning_max_utility_demand(population))
+        rec.record(
+            "lr_utility", t, mean_hypothetical_utility(population, satisfied_lr)
+        )
+        rec.record("lr_utility_target", t, decision.hypothetical.mean_utility)
+
+        tx_alloc_total = 0.0
+        tx_demand_total = 0.0
+        tx_utils: list[float] = []
+        for app_id in sorted(self._apps):
+            app = self._apps[app_id]
+            true_load = app.arrival_rate(t)
+            model = app.spec.build_perf_model(true_load)
+            alloc = app.total_allocation
+            rt = model.response_time(alloc) * self._lognoise(noise.response_time_rel_std)
+            utility = self._tx_utilities[app_id].of_response_time(rt)
+            tx_alloc_total += alloc
+            tx_demand_total += model.max_utility_demand(
+                self.scenario.controller.rt_tolerance
+            )
+            tx_utils.append(utility)
+            rec.record(f"tx_rt:{app_id}", t, rt)
+            rec.record(f"tx_utility:{app_id}", t, utility)
+            rec.record(f"tx_allocation:{app_id}", t, alloc)
+        rec.record("tx_allocation", t, tx_alloc_total)
+        rec.record("tx_demand", t, tx_demand_total)
+        rec.record("tx_utility", t, min(tx_utils) if tx_utils else math.nan)
+
+        diag = decision.diagnostics
+        rec.record("tx_target", t, diag.tx_target)
+        rec.record("lr_target", t, diag.lr_target)
+        rec.record("tx_demand_est", t, diag.tx_demand)
+        rec.record("lr_demand_est", t, diag.lr_demand)
+        rec.record("tx_utility_predicted", t, diag.tx_utility_predicted)
+        rec.record("utility_gap", t, abs(rec.series("tx_utility").value_at(t)
+                                         - rec.series("lr_utility").value_at(t)))
+        rec.record("arbiter_iterations", t, diag.arbiter_iterations)
+        rec.record("changes", t, solution.changes)
+
+        counts = {phase: 0 for phase in JobPhase}
+        for job in self._jobs.values():
+            if job.spec.submit_time <= t:
+                counts[job.phase] += 1
+        rec.record("jobs_running", t, counts[JobPhase.RUNNING])
+        rec.record("jobs_suspended", t, counts[JobPhase.SUSPENDED])
+        rec.record("jobs_pending", t, counts[JobPhase.PENDING])
+        rec.record("jobs_completed_series", t, counts[JobPhase.COMPLETED])
+
+    # ------------------------------------------------------------------
+    # Small helpers
+    # ------------------------------------------------------------------
+    def _job_of(self, vm_id: str) -> Job:
+        return self._jobs[self._vm_to_job[vm_id]]
+
+    @staticmethod
+    def _parse_instance(vm_id: str) -> tuple[str, str]:
+        if not vm_id.startswith("tx:") or "@" not in vm_id:
+            raise SimulationError(f"not an instance vm id: {vm_id!r}")
+        app_id, node_id = vm_id[3:].split("@", 1)
+        return app_id, node_id
+
+
+def run_scenario(
+    scenario: Scenario, policy_factory: Optional[PolicyFactory] = None
+) -> ExperimentResult:
+    """Convenience one-call experiment execution."""
+    return ExperimentRunner(scenario, policy_factory).run()

@@ -1,0 +1,99 @@
+"""Parameter sweeps over scenarios.
+
+Generic machinery for the ablation experiments: run a scenario factory
+over a grid of parameter values, collect per-run summary metrics, and
+tabulate them.  Used by the ABL-CYCLE and ABL-UTIL benches and by the
+examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping, Optional, Sequence
+
+from ..analysis.stats import job_outcome_stats
+from .runner import ExperimentResult, PolicyFactory, run_scenario
+from .scenario import Scenario
+
+#: Builds a scenario from one sweep-parameter value.
+ScenarioFactory = Callable[[object], Scenario]
+#: Extracts named metrics from a finished run.
+MetricExtractor = Callable[[ExperimentResult], Mapping[str, float]]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One grid point's outcome."""
+
+    parameter: object
+    metrics: Mapping[str, float]
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """All grid points of one sweep."""
+
+    name: str
+    points: tuple[SweepPoint, ...]
+
+    def metric(self, key: str) -> list[float]:
+        """One metric's values across the grid, in grid order."""
+        return [float(p.metrics[key]) for p in self.points]
+
+    def parameters(self) -> list[object]:
+        """The grid values, in order."""
+        return [p.parameter for p in self.points]
+
+
+def default_metrics(result: ExperimentResult) -> Mapping[str, float]:
+    """Standard sweep metrics: utilities, equalization, outcomes, churn."""
+    rec = result.recorder
+    horizon = result.scenario.horizon
+    outcome = job_outcome_stats(result.jobs, horizon)
+    tx_u = rec.series("tx_utility").time_average(0.0, horizon)
+    lr_u = rec.series("lr_utility").time_average(0.0, horizon)
+    gap = rec.series("utility_gap").time_average(0.0, horizon)
+    return {
+        "tx_utility": tx_u,
+        "lr_utility": lr_u,
+        "min_utility": min(tx_u, lr_u),
+        "utility_gap": gap,
+        "jobs_completed": float(outcome.completed),
+        "mean_tardiness": outcome.mean_tardiness,
+        "disruptive_actions": float(result.action_log.disruptive_total),
+    }
+
+
+def run_sweep(
+    name: str,
+    grid: Sequence[object],
+    scenario_factory: ScenarioFactory,
+    metric_extractor: MetricExtractor = default_metrics,
+    policy_factory: Optional[PolicyFactory] = None,
+) -> SweepResult:
+    """Run ``scenario_factory(value)`` for every grid value and collect metrics."""
+    points = []
+    for value in grid:
+        scenario = scenario_factory(value)
+        result = run_scenario(scenario, policy_factory)
+        points.append(SweepPoint(parameter=value, metrics=metric_extractor(result)))
+    return SweepResult(name=name, points=tuple(points))
+
+
+def sweep_table(sweep: SweepResult, parameter_label: str = "value") -> str:
+    """Text table of a sweep (parameters as rows, metrics as columns)."""
+    if not sweep.points:
+        return f"(sweep {sweep.name!r}: empty)"
+    metric_names = sorted(sweep.points[0].metrics)
+    headers = [parameter_label, *metric_names]
+    rows = []
+    for point in sweep.points:
+        rows.append(
+            [
+                str(point.parameter),
+                *(f"{float(point.metrics[m]):.4g}" for m in metric_names),
+            ]
+        )
+    from .report import format_table
+
+    return format_table(headers, rows)

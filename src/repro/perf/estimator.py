@@ -1,0 +1,119 @@
+"""Demand estimation.
+
+The controller never sees the workload's true parameters; it observes
+noisy per-cycle measurements (throughput, mean response time, per-request
+CPU consumption) and smooths them.  This module provides the smoothing
+primitives plus a composite tracker used by the controller to maintain a
+calibrated transactional performance model.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+from ..errors import ConfigurationError, EstimationError
+
+
+class EwmaEstimator:
+    """Exponentially weighted moving average.
+
+    Parameters
+    ----------
+    alpha:
+        Smoothing factor in (0, 1]; 1 means "track the last sample".
+    initial:
+        Optional prior; when omitted, the first observation seeds the
+        estimate and :attr:`value` raises until then.
+    """
+
+    __slots__ = ("_alpha", "_value", "_count")
+
+    def __init__(self, alpha: float, initial: Optional[float] = None) -> None:
+        if not 0 < alpha <= 1:
+            raise ConfigurationError(f"alpha must be in (0, 1], got {alpha}")
+        self._alpha = alpha
+        self._value = initial
+        self._count = 0 if initial is None else 1
+
+    @property
+    def primed(self) -> bool:
+        """Whether at least one value (sample or prior) is available."""
+        return self._value is not None
+
+    @property
+    def sample_count(self) -> int:
+        """Number of values incorporated (including any prior)."""
+        return self._count
+
+    @property
+    def value(self) -> float:
+        """Current estimate.
+
+        Raises
+        ------
+        EstimationError
+            If no sample or prior has been provided yet.
+        """
+        if self._value is None:
+            raise EstimationError("estimator queried before any observation")
+        return self._value
+
+    def update(self, sample: float) -> float:
+        """Fold in one observation and return the new estimate."""
+        if self._value is None:
+            self._value = float(sample)
+        else:
+            self._value += self._alpha * (float(sample) - self._value)
+        self._count += 1
+        return self._value
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        shown = f"{self._value:.4g}" if self._value is not None else "unprimed"
+        return f"EwmaEstimator(alpha={self._alpha}, value={shown})"
+
+
+class ParameterTracker:
+    """A named bundle of :class:`EwmaEstimator` instances.
+
+    Used by the controller to smooth whatever per-cycle measurements the
+    runner reports (e.g. ``"throughput"``, ``"service_cycles"``,
+    ``"num_clients"``) without hard-coding the parameter set.
+    """
+
+    def __init__(self, alpha: float, priors: Optional[Mapping[str, float]] = None) -> None:
+        if not 0 < alpha <= 1:
+            raise ConfigurationError(f"alpha must be in (0, 1], got {alpha}")
+        self._alpha = alpha
+        self._estimators: dict[str, EwmaEstimator] = {}
+        if priors:
+            for name, value in priors.items():
+                self._estimators[name] = EwmaEstimator(alpha, initial=value)
+
+    def observe(self, name: str, sample: float) -> float:
+        """Fold ``sample`` into the estimator called ``name`` (auto-created)."""
+        estimator = self._estimators.get(name)
+        if estimator is None:
+            estimator = self._estimators[name] = EwmaEstimator(self._alpha)
+        return estimator.update(sample)
+
+    def get(self, name: str) -> float:
+        """Current estimate for ``name``.
+
+        Raises
+        ------
+        EstimationError
+            If the parameter was never observed nor given a prior.
+        """
+        estimator = self._estimators.get(name)
+        if estimator is None or not estimator.primed:
+            raise EstimationError(f"parameter {name!r} has no observations")
+        return estimator.value
+
+    def has(self, name: str) -> bool:
+        """Whether ``name`` has a usable estimate."""
+        estimator = self._estimators.get(name)
+        return estimator is not None and estimator.primed
+
+    def names(self) -> list[str]:
+        """Sorted names of all tracked parameters."""
+        return sorted(self._estimators)

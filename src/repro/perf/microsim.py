@@ -1,0 +1,181 @@
+"""Request-level micro-simulators used to validate the analytic models.
+
+The controller itself never runs these (they are far too slow for the
+control loop); they exist so tests and the VALID bench can check that the
+closed-form response-time predictions in :mod:`repro.perf.queueing` agree
+with a faithful stochastic simulation of the same system.
+
+* :func:`simulate_open_mmc` -- FCFS M/M/m with integer servers; its exact
+  steady-state waiting time is the Erlang-C formula, so it validates
+  :class:`~repro.perf.queueing.OpenTransactionalModel` directly.
+* :func:`simulate_closed_interactive` -- a closed client population over a
+  processor-sharing station with a per-request speed cap, the stochastic
+  counterpart of :class:`~repro.perf.queueing.ClosedTransactionalModel`.
+  Uses the virtual-time trick: all in-service requests progress at the
+  same rate, so each request is characterized by the cumulative service
+  level at which it completes, giving O(log n) per event.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..types import Cycles, Mhz, Seconds
+
+
+@dataclass(frozen=True, slots=True)
+class MicrosimResult:
+    """Aggregate statistics from a micro-simulation run."""
+
+    mean_response_time: Seconds
+    throughput: float
+    completed: int
+
+    def __post_init__(self) -> None:
+        if self.completed < 0:
+            raise ConfigurationError("completed must be non-negative")
+
+
+def simulate_open_mmc(
+    rng: np.random.Generator,
+    arrival_rate: float,
+    mean_service_cycles: Cycles,
+    request_cap_mhz: Mhz,
+    allocation: Mhz,
+    num_requests: int = 20_000,
+    warmup_requests: int = 2_000,
+) -> MicrosimResult:
+    """Simulate an FCFS M/M/m queue and measure the mean response time.
+
+    The number of servers is ``allocation / request_cap_mhz`` rounded to
+    the nearest integer (the analytic model's continuous ``m`` coincides
+    at integer points, so validation uses allocations that divide evenly).
+    """
+    if arrival_rate <= 0:
+        raise ConfigurationError("arrival_rate must be positive")
+    if num_requests <= warmup_requests:
+        raise ConfigurationError("num_requests must exceed warmup_requests")
+    m = int(round(allocation / request_cap_mhz))
+    if m < 1:
+        raise ConfigurationError("allocation must provide at least one server")
+
+    interarrivals = rng.exponential(scale=1.0 / arrival_rate, size=num_requests)
+    arrivals = np.cumsum(interarrivals)
+    service_seconds = rng.exponential(
+        scale=mean_service_cycles / request_cap_mhz, size=num_requests
+    )
+
+    # Earliest-free-server discipline is exact for FCFS M/M/m.
+    server_free = [0.0] * m
+    heapq.heapify(server_free)
+    rt_sum = 0.0
+    counted = 0
+    first_start = math.inf
+    last_completion = 0.0
+    for i in range(num_requests):
+        free_at = heapq.heappop(server_free)
+        start = max(arrivals[i], free_at)
+        completion = start + service_seconds[i]
+        heapq.heappush(server_free, completion)
+        if i >= warmup_requests:
+            rt_sum += completion - arrivals[i]
+            counted += 1
+            first_start = min(first_start, arrivals[i])
+            last_completion = max(last_completion, completion)
+
+    span = max(last_completion - first_start, 1e-12)
+    return MicrosimResult(
+        mean_response_time=rt_sum / counted,
+        throughput=counted / span,
+        completed=counted,
+    )
+
+
+def simulate_closed_interactive(
+    rng: np.random.Generator,
+    num_clients: int,
+    think_time: Seconds,
+    mean_service_cycles: Cycles,
+    request_cap_mhz: Mhz,
+    allocation: Mhz,
+    num_requests: int = 20_000,
+    warmup_requests: int = 2_000,
+) -> MicrosimResult:
+    """Simulate a closed interactive population over a capped-PS station.
+
+    ``num_clients`` clients think for exp(``think_time``) then issue a
+    request of exp(``mean_service_cycles``) work.  All in-service requests
+    share ``allocation`` MHz equally, each capped at ``request_cap_mhz``.
+    """
+    if num_clients < 1:
+        raise ConfigurationError("num_clients must be >= 1")
+    if allocation <= 0:
+        raise ConfigurationError("allocation must be positive")
+    if num_requests <= warmup_requests:
+        raise ConfigurationError("num_requests must exceed warmup_requests")
+
+    t = 0.0
+    virtual = 0.0  # cumulative per-request service (MHz·s) delivered so far
+    # (completion_virtual_level, arrival_time) for in-service requests.
+    in_service: list[tuple[float, float]] = []
+    # (think_end_time,) per thinking client.
+    thinking: list[float] = []
+    for _ in range(num_clients):
+        if think_time > 0:
+            heapq.heappush(thinking, float(rng.exponential(scale=think_time)))
+        else:
+            heapq.heappush(thinking, 0.0)
+
+    rt_sum = 0.0
+    completed = 0
+    counted = 0
+    window_start = None
+    last_completion = 0.0
+
+    def current_rate() -> float:
+        if not in_service:
+            return 0.0
+        return min(request_cap_mhz, allocation / len(in_service))
+
+    while counted < (num_requests - warmup_requests):
+        rate = current_rate()
+        next_arrival = thinking[0] if thinking else math.inf
+        if in_service and rate > 0:
+            next_completion = t + (in_service[0][0] - virtual) / rate
+        else:
+            next_completion = math.inf
+        if next_arrival is math.inf and next_completion is math.inf:
+            raise ConfigurationError("closed microsim deadlocked (no events)")
+
+        if next_arrival <= next_completion:
+            # A client finishes thinking and submits a request.
+            virtual += rate * (next_arrival - t)
+            t = next_arrival
+            heapq.heappop(thinking)
+            work = float(rng.exponential(scale=mean_service_cycles))
+            heapq.heappush(in_service, (virtual + work, t))
+        else:
+            virtual += rate * (next_completion - t)
+            t = next_completion
+            _, arrived = heapq.heappop(in_service)
+            completed += 1
+            if completed > warmup_requests:
+                if window_start is None:
+                    window_start = arrived
+                rt_sum += t - arrived
+                counted += 1
+                last_completion = t
+            # The client thinks, then will submit again.
+            heapq.heappush(thinking, t + float(rng.exponential(scale=think_time)) if think_time > 0 else t)
+
+    span = max(last_completion - (window_start or 0.0), 1e-12)
+    return MicrosimResult(
+        mean_response_time=rt_sum / counted,
+        throughput=counted / span,
+        completed=counted,
+    )

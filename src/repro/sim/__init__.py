@@ -1,0 +1,34 @@
+"""Discrete-event simulation kernel.
+
+Provides the engine (:class:`Simulator`), event queue, simulated clock,
+reproducible named RNG substreams (:class:`RngRegistry`) and step-function
+time-series recording (:class:`Recorder`, :class:`Series`).
+"""
+
+from .clock import SimClock
+from .engine import (
+    ORDER_ARRIVAL,
+    ORDER_COMPLETION,
+    ORDER_CONTROL,
+    ORDER_DEFAULT,
+    ORDER_RECORD,
+    Simulator,
+)
+from .events import Event, EventQueue
+from .recorder import Recorder, Series
+from .rng import RngRegistry
+
+__all__ = [
+    "SimClock",
+    "Simulator",
+    "Event",
+    "EventQueue",
+    "Recorder",
+    "Series",
+    "RngRegistry",
+    "ORDER_ARRIVAL",
+    "ORDER_COMPLETION",
+    "ORDER_CONTROL",
+    "ORDER_DEFAULT",
+    "ORDER_RECORD",
+]

@@ -1,0 +1,50 @@
+"""Simulated clock.
+
+The clock is deliberately tiny: it owns the notion of "now" and enforces
+that simulated time never moves backwards.  It is shared by the event queue
+(:mod:`repro.sim.events`) and the engine (:mod:`repro.sim.engine`).
+"""
+
+from __future__ import annotations
+
+from ..errors import SimulationError
+from ..types import Seconds
+
+
+class SimClock:
+    """Monotonic simulated-time clock.
+
+    Parameters
+    ----------
+    start:
+        Initial simulated time in seconds (default 0).
+    """
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: Seconds = 0.0) -> None:
+        if start < 0:
+            raise SimulationError(f"clock cannot start at negative time {start}")
+        self._now: Seconds = float(start)
+
+    @property
+    def now(self) -> Seconds:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def advance_to(self, t: Seconds) -> None:
+        """Move the clock forward to absolute time ``t``.
+
+        Raises
+        ------
+        SimulationError
+            If ``t`` is earlier than the current time.
+        """
+        if t < self._now:
+            raise SimulationError(
+                f"cannot move clock backwards: now={self._now}, requested={t}"
+            )
+        self._now = float(t)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SimClock(now={self._now:.3f})"

@@ -1,0 +1,162 @@
+"""Time-series recording for experiments.
+
+A :class:`Series` is an append-only sequence of ``(time, value)`` samples
+interpreted as a *step function*: the value recorded at ``t`` holds until
+the next sample.  That matches how the controller works -- allocations and
+utilities are piecewise-constant between control cycles -- and makes
+resampling and time-averaging exact rather than approximate.
+
+:class:`Recorder` is a named collection of series plus scalar counters.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Mapping
+
+import numpy as np
+
+from ..errors import SimulationError
+from ..types import Seconds
+
+
+class Series:
+    """Append-only step-function time series."""
+
+    __slots__ = ("name", "_times", "_values")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._times: list[float] = []
+        self._values: list[float] = []
+
+    def __len__(self) -> int:
+        return len(self._times)
+
+    def append(self, t: Seconds, value: float) -> None:
+        """Record ``value`` at time ``t``.
+
+        Times must be non-decreasing.  Recording at an existing last time
+        overwrites that sample (a control decision revised within the same
+        instant supersedes the previous one).
+        """
+        if self._times and t < self._times[-1]:
+            raise SimulationError(
+                f"series {self.name!r}: time {t} precedes last sample {self._times[-1]}"
+            )
+        if self._times and t == self._times[-1]:
+            self._values[-1] = float(value)
+            return
+        self._times.append(float(t))
+        self._values.append(float(value))
+
+    @property
+    def times(self) -> np.ndarray:
+        """Sample times as a float array (copy)."""
+        return np.asarray(self._times, dtype=float)
+
+    @property
+    def values(self) -> np.ndarray:
+        """Sample values as a float array (copy)."""
+        return np.asarray(self._values, dtype=float)
+
+    def value_at(self, t: Seconds) -> float:
+        """Step-function evaluation: the last recorded value at or before ``t``.
+
+        Raises
+        ------
+        SimulationError
+            If the series is empty or ``t`` precedes the first sample.
+        """
+        if not self._times:
+            raise SimulationError(f"series {self.name!r} is empty")
+        idx = int(np.searchsorted(np.asarray(self._times), t, side="right")) - 1
+        if idx < 0:
+            raise SimulationError(
+                f"series {self.name!r}: {t} precedes first sample {self._times[0]}"
+            )
+        return self._values[idx]
+
+    def resample(self, grid: np.ndarray) -> np.ndarray:
+        """Evaluate the step function on ``grid`` (must start at/after the
+        first sample)."""
+        grid = np.asarray(grid, dtype=float)
+        if not self._times:
+            raise SimulationError(f"series {self.name!r} is empty")
+        times = np.asarray(self._times)
+        values = np.asarray(self._values)
+        idx = np.searchsorted(times, grid, side="right") - 1
+        if np.any(idx < 0):
+            raise SimulationError(
+                f"series {self.name!r}: grid starts before first sample {times[0]}"
+            )
+        return values[idx]
+
+    def time_average(self, start: Seconds, end: Seconds) -> float:
+        """Exact time-weighted mean of the step function over ``[start, end]``."""
+        if end <= start:
+            raise SimulationError(f"empty averaging window [{start}, {end}]")
+        times = np.asarray(self._times)
+        values = np.asarray(self._values)
+        if times.size == 0:
+            raise SimulationError(f"series {self.name!r} is empty")
+        # Breakpoints inside the window, plus the window edges.
+        inner = (times > start) & (times < end)
+        knots = np.concatenate(([start], times[inner], [end]))
+        idx = np.searchsorted(times, knots[:-1], side="right") - 1
+        if idx[0] < 0:
+            raise SimulationError(
+                f"series {self.name!r}: window starts before first sample"
+            )
+        widths = np.diff(knots)
+        return float(np.sum(values[idx] * widths) / (end - start))
+
+
+class Recorder:
+    """Named collection of :class:`Series` plus scalar counters."""
+
+    def __init__(self) -> None:
+        self._series: dict[str, Series] = {}
+        self._counters: dict[str, float] = {}
+
+    # -- series --------------------------------------------------------
+    def record(self, name: str, t: Seconds, value: float) -> None:
+        """Append ``(t, value)`` to the series called ``name`` (auto-created)."""
+        series = self._series.get(name)
+        if series is None:
+            series = self._series[name] = Series(name)
+        series.append(t, value)
+
+    def series(self, name: str) -> Series:
+        """Return the series called ``name``.
+
+        Raises
+        ------
+        KeyError
+            If nothing has been recorded under that name.
+        """
+        return self._series[name]
+
+    def has_series(self, name: str) -> bool:
+        """Whether any sample was recorded under ``name``."""
+        return name in self._series
+
+    def series_names(self) -> list[str]:
+        """Sorted names of all recorded series."""
+        return sorted(self._series)
+
+    def __iter__(self) -> Iterator[Series]:
+        return iter(self._series.values())
+
+    # -- counters ------------------------------------------------------
+    def bump(self, name: str, amount: float = 1.0) -> None:
+        """Increment counter ``name`` by ``amount`` (auto-created at 0)."""
+        self._counters[name] = self._counters.get(name, 0.0) + amount
+
+    def counter(self, name: str) -> float:
+        """Current value of counter ``name`` (0 if never bumped)."""
+        return self._counters.get(name, 0.0)
+
+    @property
+    def counters(self) -> Mapping[str, float]:
+        """Read-only view of all counters."""
+        return dict(self._counters)

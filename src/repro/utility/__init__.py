@@ -1,0 +1,24 @@
+"""Utility functions making heterogeneous workload performance comparable.
+
+The paper's device for trading CPU between a web application with a
+response-time SLA and batch jobs with completion-time SLAs: both map their
+goal-relative slack through a monotone, continuous utility function.
+"""
+
+from .base import LinearUtility, UtilityFunction, relative_slack
+from .longrunning import JobUtility, mean_achieved_utility, slacks_to_utilities
+from .shapes import PiecewiseLinearUtility, SigmoidUtility, StepUtility
+from .transactional import TransactionalUtility
+
+__all__ = [
+    "UtilityFunction",
+    "LinearUtility",
+    "relative_slack",
+    "TransactionalUtility",
+    "JobUtility",
+    "mean_achieved_utility",
+    "slacks_to_utilities",
+    "SigmoidUtility",
+    "StepUtility",
+    "PiecewiseLinearUtility",
+]

@@ -1,0 +1,86 @@
+"""Utility-function framework.
+
+The paper's central device: a *utility function* maps a workload's
+SLA-relative performance to a scalar, making the satisfaction of a web
+application and of a batch job directly comparable so that one arbiter can
+trade resources between them.  Following the paper, the default functions
+are **monotonic and continuous** in performance; alternative shapes
+(step, sigmoid -- cf. Lee & Snavely, HPDC'07, the paper's reference [4])
+live in :mod:`repro.utility.shapes`.
+
+The common currency is *relative slack*::
+
+    slack = (goal - achieved) / goal
+
+which is 1 for instantaneous completion/response, 0 exactly on goal, and
+negative when the SLA is missed.  A :class:`UtilityFunction` maps slack to
+utility; the identity map (:class:`LinearUtility`) is the paper's choice.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Protocol, runtime_checkable
+
+from ..errors import ConfigurationError
+
+
+@runtime_checkable
+class UtilityFunction(Protocol):
+    """Maps relative slack (``<= 1``) to a utility value."""
+
+    def __call__(self, slack: float) -> float:
+        """Utility at the given relative slack."""
+        ...
+
+
+class LinearUtility:
+    """The paper's utility: identity on relative slack, optionally clipped.
+
+    ``u(slack) = clip(slack, floor, ceiling)``.  With the default bounds
+    ``(-inf, 1]`` this is exactly the goal-relative utility of Section 2;
+    a finite ``floor`` (e.g. -1) bounds how much a hopeless SLA violation
+    can drag an aggregate down.
+    """
+
+    __slots__ = ("floor", "ceiling")
+
+    def __init__(self, floor: float = -math.inf, ceiling: float = 1.0) -> None:
+        if ceiling <= floor:
+            raise ConfigurationError("ceiling must exceed floor")
+        self.floor = floor
+        self.ceiling = ceiling
+
+    def __call__(self, slack: float) -> float:
+        return min(max(slack, self.floor), self.ceiling)
+
+    def inverse(self, utility: float) -> float:
+        """Slack achieving ``utility`` (for interior, non-clipped values)."""
+        if not self.floor < utility < self.ceiling:
+            raise ConfigurationError(
+                f"utility {utility} is outside the invertible range "
+                f"({self.floor}, {self.ceiling})"
+            )
+        return utility
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"LinearUtility(floor={self.floor}, ceiling={self.ceiling})"
+
+
+def relative_slack(goal: float, achieved: float) -> float:
+    """``(goal - achieved) / goal`` -- the SLA-relative performance measure.
+
+    Parameters
+    ----------
+    goal:
+        The SLA target (response-time goal, or completion-goal length);
+        must be positive.
+    achieved:
+        The achieved (or predicted) value on the same scale; ``inf`` is
+        allowed and yields ``-inf`` slack.
+    """
+    if goal <= 0:
+        raise ConfigurationError(f"goal must be positive, got {goal}")
+    if math.isinf(achieved):
+        return -math.inf
+    return (goal - achieved) / goal

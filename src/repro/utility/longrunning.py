@@ -1,0 +1,83 @@
+"""Long-running-workload utility.
+
+A job's utility is the goal-relative slack of its completion time:
+``u = (G_j - C_j) / T_j`` where ``G_j`` is the absolute deadline, ``C_j``
+the (actual or hypothetical) completion time and ``T_j`` the goal length.
+The *actual* utility is only known at completion time; during a run the
+controller uses the **hypothetical utility** of
+:mod:`repro.core.hypothetical`, which feeds per-job predicted completion
+times through this same mapping.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..types import Seconds
+from ..workloads.jobs import Job, JobSpec
+from .base import LinearUtility, UtilityFunction
+
+
+class JobUtility:
+    """Utility of one job's completion time against its SLA goal."""
+
+    __slots__ = ("shape",)
+
+    def __init__(self, shape: UtilityFunction | None = None) -> None:
+        self.shape = shape if shape is not None else LinearUtility()
+
+    def of_completion(self, spec: JobSpec, completion_time: Seconds) -> float:
+        """Utility if the job completes (or would complete) at ``completion_time``."""
+        if math.isinf(completion_time):
+            return self.shape(-math.inf)
+        slack = (spec.absolute_goal - completion_time) / spec.completion_goal
+        return self.shape(slack)
+
+    def achieved(self, job: Job) -> float:
+        """The *actual* utility of a completed job.
+
+        Raises
+        ------
+        ConfigurationError
+            If the job has not completed.
+        """
+        if job.stats.completed_at is None:
+            raise ConfigurationError(
+                f"job {job.job_id} has not completed; actual utility is undefined"
+            )
+        return self.of_completion(job.spec, job.stats.completed_at)
+
+
+def slacks_to_utilities(shape: UtilityFunction, slacks: np.ndarray) -> np.ndarray:
+    """Vectorized application of a utility shape to an array of slacks.
+
+    The default linear shape short-circuits to a numpy clip; other shapes
+    fall back to a Python loop (they are only used in small ablations).
+    """
+    if isinstance(shape, LinearUtility):
+        return np.clip(slacks, shape.floor, shape.ceiling)
+    return np.asarray([shape(float(s)) for s in slacks], dtype=float)
+
+
+def mean_achieved_utility(utility: JobUtility, jobs: Iterable[Job]) -> float:
+    """Importance-weighted mean of the actual utilities of completed jobs.
+
+    Raises
+    ------
+    ConfigurationError
+        If no completed job is provided.
+    """
+    total = 0.0
+    weight = 0.0
+    for job in jobs:
+        if job.stats.completed_at is None:
+            continue
+        total += job.spec.importance * utility.achieved(job)
+        weight += job.spec.importance
+    if weight == 0:
+        raise ConfigurationError("no completed jobs to average over")
+    return total / weight

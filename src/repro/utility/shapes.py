@@ -1,0 +1,108 @@
+"""Alternative utility-function shapes.
+
+The paper uses monotonic, continuous (linear) utilities but notes that
+"other approaches have been studied in the literature" (reference [4],
+Lee & Snavely, HPDC'07: user-centric utility is often step-like or
+saturating).  These shapes drive the ABL-UTIL ablation: how does the
+arbiter's behaviour change when satisfaction saturates, or when an SLA is
+a hard threshold?
+
+All shapes consume *relative slack* (see :mod:`repro.utility.base`) and
+are non-decreasing in it.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..errors import ConfigurationError
+
+
+class SigmoidUtility:
+    """Smooth saturating utility: ``u = lo + (hi-lo) / (1 + e^{-k(slack-mid)})``.
+
+    Models users indifferent between "fast" and "very fast" and between
+    "late" and "very late", with a transition around ``midpoint``.
+    """
+
+    __slots__ = ("midpoint", "steepness", "lo", "hi")
+
+    def __init__(
+        self,
+        midpoint: float = 0.0,
+        steepness: float = 6.0,
+        lo: float = -1.0,
+        hi: float = 1.0,
+    ) -> None:
+        if steepness <= 0:
+            raise ConfigurationError("steepness must be positive")
+        if hi <= lo:
+            raise ConfigurationError("hi must exceed lo")
+        self.midpoint = midpoint
+        self.steepness = steepness
+        self.lo = lo
+        self.hi = hi
+
+    def __call__(self, slack: float) -> float:
+        if math.isinf(slack):
+            return self.lo if slack < 0 else self.hi
+        z = -self.steepness * (slack - self.midpoint)
+        # Guard exp overflow for extreme slack values.
+        if z > 700:
+            return self.lo
+        return self.lo + (self.hi - self.lo) / (1.0 + math.exp(z))
+
+
+class StepUtility:
+    """Hard-SLA utility: ``hi`` when the goal is met, ``lo`` otherwise.
+
+    Discontinuous at ``threshold`` -- deliberately violating the paper's
+    continuity requirement to demonstrate (in the ablation) why the
+    equalizing arbiter needs continuous utilities to find stable splits.
+    """
+
+    __slots__ = ("threshold", "lo", "hi")
+
+    def __init__(self, threshold: float = 0.0, lo: float = 0.0, hi: float = 1.0) -> None:
+        if hi <= lo:
+            raise ConfigurationError("hi must exceed lo")
+        self.threshold = threshold
+        self.lo = lo
+        self.hi = hi
+
+    def __call__(self, slack: float) -> float:
+        return self.hi if slack >= self.threshold else self.lo
+
+
+class PiecewiseLinearUtility:
+    """Utility interpolated between ``(slack, utility)`` knots.
+
+    Flat extrapolation beyond the outermost knots.  Knot utilities must be
+    non-decreasing in slack so the result remains monotone.
+    """
+
+    __slots__ = ("_xs", "_ys")
+
+    def __init__(self, knots: list[tuple[float, float]]) -> None:
+        if len(knots) < 2:
+            raise ConfigurationError("need at least two knots")
+        xs = [x for x, _ in knots]
+        ys = [y for _, y in knots]
+        if any(b <= a for a, b in zip(xs, xs[1:])):
+            raise ConfigurationError("knot slacks must be strictly increasing")
+        if any(b < a for a, b in zip(ys, ys[1:])):
+            raise ConfigurationError("knot utilities must be non-decreasing")
+        self._xs = xs
+        self._ys = ys
+
+    def __call__(self, slack: float) -> float:
+        xs, ys = self._xs, self._ys
+        if slack <= xs[0]:
+            return ys[0]
+        if slack >= xs[-1]:
+            return ys[-1]
+        for i in range(1, len(xs)):
+            if slack <= xs[i]:
+                frac = (slack - xs[i - 1]) / (xs[i] - xs[i - 1])
+                return ys[i - 1] + frac * (ys[i] - ys[i - 1])
+        raise AssertionError("unreachable")  # pragma: no cover

@@ -1,0 +1,167 @@
+"""Synthetic workload trace generators.
+
+Builds the job-submission traces used by the experiments, chief among them
+the paper's evaluation workload: 800 identical single-processor jobs with
+exponential inter-arrival times (mean 260 s) whose submission rate drops
+near the end of the run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..types import Cycles, Megabytes, Mhz, Seconds
+from .arrivals import exponential_arrival_times, piecewise_exponential_arrival_times
+from .jobs import JobSpec
+
+
+@dataclass(frozen=True, slots=True)
+class JobTemplate:
+    """Per-class parameters shared by a family of generated jobs.
+
+    ``goal_factor`` sets the SLA goal as a multiple of the job's fastest
+    possible execution time: ``goal_factor = 4`` means "finishing at full
+    speed would use a quarter of the goal", which puts the utility of an
+    unconstrained job at ``1 - 1/goal_factor = 0.75`` -- matching the
+    uncontended plateau of the paper's Figure 1.
+    """
+
+    total_work: Cycles
+    speed_cap_mhz: Mhz
+    memory_mb: Megabytes
+    goal_factor: float
+    job_class: str = "batch"
+    importance: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.goal_factor <= 1.0:
+            raise ConfigurationError(
+                "goal_factor must exceed 1 (goals shorter than the fastest "
+                "possible run are unachievable by construction)"
+            )
+
+    @property
+    def completion_goal(self) -> Seconds:
+        """The SLA goal in seconds derived from the template."""
+        return self.goal_factor * self.total_work / self.speed_cap_mhz
+
+    def make_spec(self, job_id: str, submit_time: Seconds) -> JobSpec:
+        """Instantiate a :class:`JobSpec` at the given submission time."""
+        return JobSpec(
+            job_id=job_id,
+            submit_time=submit_time,
+            total_work=self.total_work,
+            speed_cap_mhz=self.speed_cap_mhz,
+            memory_mb=self.memory_mb,
+            completion_goal=self.completion_goal,
+            job_class=self.job_class,
+            importance=self.importance,
+        )
+
+
+#: Job template for the paper's evaluation: identical jobs, each capped at
+#: one 3000 MHz processor, 1200 MB so "only three jobs will fit on a node",
+#: ~4.2 hours of work at full speed, goal at 4x the minimum duration.
+#: Sizing: submitting one such job every 260 s offers
+#: ``45e6 / 260 ≈ 173 GHz`` of long-running load -- about 58% of the
+#: evaluation cluster's 300 GHz.  Against the transactional workload's
+#: ~70% demand this gives a mild aggregate overload: the job backlog (and
+#: with it the long-running demand curve of Figure 2) ramps up gradually
+#: through the run, and drains visibly once the submission rate drops near
+#: the end -- the paper's contention-then-recovery dynamics.
+PAPER_JOB_TEMPLATE = JobTemplate(
+    total_work=15_000.0 * 3000.0,  # ~4.2 h at one 3000 MHz processor
+    speed_cap_mhz=3000.0,
+    memory_mb=1200.0,
+    goal_factor=4.0,
+)
+
+
+def uniform_job_trace(
+    rng: np.random.Generator,
+    template: JobTemplate,
+    count: int,
+    mean_interarrival: Seconds,
+    start: Seconds = 0.0,
+    id_prefix: str = "job",
+) -> list[JobSpec]:
+    """``count`` identical jobs with exponential inter-arrival times."""
+    times = exponential_arrival_times(rng, mean_interarrival, count, start)
+    return [
+        template.make_spec(f"{id_prefix}{i:04d}", float(t))
+        for i, t in enumerate(times)
+    ]
+
+
+def paper_job_trace(
+    rng: np.random.Generator,
+    count: int = 800,
+    mean_interarrival: Seconds = 260.0,
+    rate_drop_time: Seconds = 60_000.0,
+    rate_drop_ratio: float = 4.0,
+    template: JobTemplate = PAPER_JOB_TEMPLATE,
+    initial_jobs: int = 2,
+) -> list[JobSpec]:
+    """The paper's job-submission trace.
+
+    * ``count`` identical jobs (800 in the paper).
+    * Exponential inter-arrival with mean ``mean_interarrival`` (260 s).
+    * After ``rate_drop_time`` the submission rate is decreased: the
+      inter-arrival mean is multiplied by ``rate_drop_ratio``.  The paper
+      says "slightly decreased" without a number; the default of 4 lets
+      the job backlog drain visibly within the remaining 10 000 s of the
+      evaluation window, reproducing the end-of-run recovery of CPU power
+      to the transactional workload.
+    * ``initial_jobs`` jobs are already present at t=0 ("an insignificant
+      number of long-running jobs already placed").
+    """
+    if initial_jobs < 0 or initial_jobs > count:
+        raise ConfigurationError("initial_jobs must be within [0, count]")
+    specs = [
+        template.make_spec(f"job{i:04d}", 0.0) for i in range(initial_jobs)
+    ]
+    times = piecewise_exponential_arrival_times(
+        rng,
+        phases=[(0.0, mean_interarrival), (rate_drop_time, mean_interarrival * rate_drop_ratio)],
+        count=count - initial_jobs,
+    )
+    specs.extend(
+        template.make_spec(f"job{initial_jobs + i:04d}", float(t))
+        for i, t in enumerate(times)
+    )
+    return specs
+
+
+def differentiated_job_trace(
+    rng: np.random.Generator,
+    templates: Sequence[tuple[JobTemplate, float]],
+    count: int,
+    mean_interarrival: Seconds,
+    start: Seconds = 0.0,
+) -> list[JobSpec]:
+    """A mixed-class trace for service-differentiation experiments.
+
+    Parameters
+    ----------
+    templates:
+        ``(template, probability)`` pairs; probabilities must sum to 1.
+        Each arriving job is assigned a class by an independent draw.
+    count / mean_interarrival / start:
+        As in :func:`uniform_job_trace`.
+    """
+    probs = np.asarray([p for _, p in templates], dtype=float)
+    if probs.size == 0 or abs(probs.sum() - 1.0) > 1e-9 or np.any(probs < 0):
+        raise ConfigurationError("class probabilities must be non-negative and sum to 1")
+    times = exponential_arrival_times(rng, mean_interarrival, count, start)
+    choices = rng.choice(len(templates), size=count, p=probs)
+    specs: list[JobSpec] = []
+    for i, (t, k) in enumerate(zip(times, choices)):
+        template = templates[int(k)][0]
+        specs.append(
+            template.make_spec(f"{template.job_class}-{i:04d}", float(t))
+        )
+    return specs

@@ -1,0 +1,65 @@
+"""Integration tests for node-failure injection and recovery."""
+
+import dataclasses
+
+import pytest
+
+from repro.experiments import run_scenario, scaled_paper_scenario
+from repro.experiments.scenario import NodeFailure
+from repro.workloads import JobPhase
+
+
+@pytest.fixture(scope="module")
+def result():
+    # Horizon reaches past the early jobs' SLA goals (60 000 s): under
+    # failure-induced scarcity the utility-driven controller deliberately
+    # parks nearly-finished jobs (their distant goals are safe at a
+    # trickle) and prioritizes urgent ones, so completions cluster toward
+    # the goals rather than "as soon as possible".
+    base = scaled_paper_scenario(scale=0.2, seed=3)
+    scenario = dataclasses.replace(
+        base,
+        horizon=62_000.0,
+        failures=(
+            NodeFailure(at=12_000.0, node_id="node001", restore_at=26_000.0),
+            NodeFailure(at=18_000.0, node_id="node003"),
+        ),
+    )
+    return run_scenario(scenario)
+
+
+class TestFailureInjection:
+    def test_failures_were_injected(self, result):
+        assert result.recorder.counter("node_failures") == 2
+
+    def test_no_placement_on_permanently_failed_node(self, result):
+        for entry in result.final_placement:
+            assert entry.node_id != "node003"
+
+    def test_restored_node_reused(self, result):
+        nodes_in_use = {entry.node_id for entry in result.final_placement}
+        assert "node001" in nodes_in_use
+
+    def test_victim_jobs_survived_as_suspend_resume(self, result):
+        # Crash-suspension plus controller resume elsewhere.
+        assert result.action_log.resumptions > 0
+        suspended_ever = [j for j in result.jobs if j.stats.suspensions > 0]
+        assert suspended_ever
+
+    def test_jobs_still_complete_despite_failures(self, result):
+        # Two of five nodes are lost for long stretches (one forever), so
+        # sustained completion throughput is low -- but the completion
+        # pipeline must keep moving despite the crash-suspensions.
+        completed = [j for j in result.jobs if j.phase is JobPhase.COMPLETED]
+        assert len(completed) >= 5
+
+    def test_early_jobs_made_substantial_progress(self, result):
+        early = sorted(result.jobs, key=lambda j: j.spec.submit_time)[:5]
+        for job in early:
+            done_fraction = 1.0 - job.remaining_work / job.spec.total_work
+            assert done_fraction > 0.8
+
+    def test_final_placement_feasible_with_failed_node(self, result):
+        cluster = result.scenario.build_cluster()
+        cluster.fail_node("node003")
+        result.final_placement.validate(cluster)

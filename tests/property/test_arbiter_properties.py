@@ -1,0 +1,93 @@
+"""Property-based tests for the CPU arbiter.
+
+Whatever the workload mix, the arbiter must stay within capacity, never
+allocate past a workload's max-utility demand, and its two
+implementations must agree on the fixed point.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    BisectionArbiter,
+    LongRunningCurve,
+    StealingArbiter,
+    TransactionalCurve,
+)
+from repro.perf import ClosedTransactionalModel
+from repro.perf.jobmodel import JobPopulation
+from repro.utility import TransactionalUtility
+
+
+@st.composite
+def workload_pairs(draw):
+    clients = draw(st.floats(min_value=5.0, max_value=500.0))
+    goal = draw(st.floats(min_value=0.15, max_value=2.0))
+    model = ClosedTransactionalModel(clients, 0.2, 300.0, 3000.0)
+    tx = TransactionalCurve(model, TransactionalUtility(goal))
+
+    n = draw(st.integers(min_value=0, max_value=60))
+    remaining = draw(
+        st.lists(st.floats(1e4, 1e7), min_size=n, max_size=n)
+    )
+    goal_lengths = draw(
+        st.lists(st.floats(500.0, 2e4), min_size=n, max_size=n)
+    )
+    pop = JobPopulation(
+        time=0.0,
+        job_ids=tuple(f"j{i}" for i in range(n)),
+        remaining=np.asarray(remaining),
+        caps=np.full(n, 3000.0),
+        goals_abs=np.asarray(goal_lengths),
+        goal_lengths=np.asarray(goal_lengths),
+        importance=np.ones(n),
+    )
+    lr = LongRunningCurve(pop)
+    capacity = draw(st.floats(min_value=1_000.0, max_value=400_000.0))
+    return capacity, tx, lr
+
+
+@given(workload_pairs())
+@settings(max_examples=100, deadline=None)
+def test_split_within_capacity_and_demands(pair):
+    capacity, tx, lr = pair
+    result = BisectionArbiter().split(capacity, tx, lr)
+    assert result.tx_allocation >= 0
+    assert result.lr_allocation >= 0
+    assert result.tx_allocation + result.lr_allocation <= capacity * (1 + 1e-9)
+    assert result.tx_allocation <= tx.max_utility_demand * (1 + 1e-9)
+    assert result.lr_allocation <= lr.max_utility_demand * (1 + 1e-9)
+
+
+@given(workload_pairs())
+@settings(max_examples=60, deadline=None)
+def test_implementations_agree(pair):
+    capacity, tx, lr = pair
+    a = BisectionArbiter().split(capacity, tx, lr)
+    b = StealingArbiter(utility_tolerance=1e-3, max_iterations=2000).split(
+        capacity, tx, lr
+    )
+    # Fixed points agree in utility space (allocation can differ slightly
+    # on flat curve regions).
+    assert min(a.tx_utility, a.lr_utility) == min(b.tx_utility, b.lr_utility) or (
+        abs(min(a.tx_utility, a.lr_utility) - min(b.tx_utility, b.lr_utility)) < 0.05
+    )
+
+
+@given(workload_pairs(), st.floats(1.05, 2.0))
+@settings(max_examples=60, deadline=None)
+def test_min_utility_monotone_in_capacity(pair, factor):
+    """More capacity never hurts -- up to the bisection's tolerance.
+
+    The arbiter stops when |U_tx − U_lr| <= utility_tolerance, so the
+    achieved min utility is only determined within that tolerance (flat
+    curve regions, e.g. the starved-clamp floor, realize the slack)."""
+    capacity, tx, lr = pair
+    arbiter = BisectionArbiter()
+    small = arbiter.split(capacity, tx, lr)
+    large = arbiter.split(capacity * factor, tx, lr)
+    slack = 2 * arbiter.utility_tolerance
+    assert min(large.tx_utility, large.lr_utility) >= min(
+        small.tx_utility, small.lr_utility
+    ) - slack

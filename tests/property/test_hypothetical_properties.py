@@ -1,0 +1,100 @@
+"""Property-based tests for hypothetical-utility equalization.
+
+The invariants here are what make the controller sound: the equalization
+never over-commits CPU, never exceeds a job's speed cap, is monotone in
+the allocation, and genuinely equalizes the utilities of uncapped jobs.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import equalize_hypothetical_utility
+from repro.perf.jobmodel import JobPopulation
+
+
+@st.composite
+def populations(draw):
+    n = draw(st.integers(min_value=1, max_value=40))
+    remaining = draw(
+        st.lists(
+            st.floats(min_value=1e3, max_value=1e8, allow_nan=False),
+            min_size=n, max_size=n,
+        )
+    )
+    caps = draw(
+        st.lists(
+            st.floats(min_value=100.0, max_value=4000.0, allow_nan=False),
+            min_size=n, max_size=n,
+        )
+    )
+    goal_lengths = draw(
+        st.lists(
+            st.floats(min_value=100.0, max_value=1e5, allow_nan=False),
+            min_size=n, max_size=n,
+        )
+    )
+    t = draw(st.floats(min_value=0.0, max_value=1e5, allow_nan=False))
+    offsets = draw(
+        st.lists(
+            st.floats(min_value=-5e4, max_value=1e5, allow_nan=False),
+            min_size=n, max_size=n,
+        )
+    )
+    return JobPopulation(
+        time=t,
+        job_ids=tuple(f"j{i}" for i in range(n)),
+        remaining=np.asarray(remaining),
+        caps=np.asarray(caps),
+        goals_abs=t + np.asarray(offsets),
+        goal_lengths=np.asarray(goal_lengths),
+        importance=np.ones(n),
+    )
+
+
+@given(populations(), st.floats(min_value=0.0, max_value=1e6))
+@settings(max_examples=150, deadline=None)
+def test_never_overcommits_allocation(pop, allocation):
+    result = equalize_hypothetical_utility(pop, allocation)
+    assert result.consumed <= allocation * (1 + 1e-6) + 1e-9
+
+
+@given(populations(), st.floats(min_value=0.0, max_value=1e6))
+@settings(max_examples=150, deadline=None)
+def test_rates_respect_speed_caps(pop, allocation):
+    result = equalize_hypothetical_utility(pop, allocation)
+    assert np.all(result.rates <= pop.caps * (1 + 1e-9))
+    assert np.all(result.rates >= 0.0)
+
+
+@given(populations(), st.floats(min_value=0.0, max_value=5e5),
+       st.floats(min_value=1.01, max_value=4.0))
+@settings(max_examples=100, deadline=None)
+def test_mean_utility_monotone_in_allocation(pop, allocation, factor):
+    lo = equalize_hypothetical_utility(pop, allocation)
+    hi = equalize_hypothetical_utility(pop, allocation * factor)
+    assert hi.mean_utility >= lo.mean_utility - 1e-6
+
+
+@given(populations(), st.floats(min_value=1e3, max_value=1e6))
+@settings(max_examples=150, deadline=None)
+def test_uncapped_jobs_share_one_utility_level(pop, allocation):
+    result = equalize_hypothetical_utility(pop, allocation)
+    u_max = pop.max_achievable_utility()
+    uncapped = (result.rates < pop.caps * (1 - 1e-6)) & (pop.remaining > 0)
+    if np.count_nonzero(uncapped) >= 2:
+        utilities = result.utilities[uncapped]
+        assert np.max(utilities) - np.min(utilities) < 1e-3
+    # Capped jobs sit at their ceiling, never above the level.
+    capped = ~uncapped & (pop.remaining > 0)
+    assert np.all(result.utilities[capped] <= u_max[capped] + 1e-9)
+
+
+@given(populations())
+@settings(max_examples=100, deadline=None)
+def test_surplus_allocation_reaches_every_ceiling(pop):
+    result = equalize_hypothetical_utility(pop, pop.total_cap * 1.5)
+    u_max = pop.max_achievable_utility()
+    active = pop.remaining > 0
+    assert np.allclose(result.utilities[active], u_max[active])
+    assert np.allclose(result.rates[active], pop.caps[active])

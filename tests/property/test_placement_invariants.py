@@ -1,0 +1,125 @@
+"""Property-based tests for the placement solver.
+
+Whatever the request mix, a solution must be *feasible*: per-node CPU and
+memory within capacity, per-job rates within speed caps, every job placed
+at most once, and the change budget honoured.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import Cluster, NodeSpec
+from repro.config import SolverConfig
+from repro.core import AppRequest, JobRequest, PlacementSolver
+
+
+@st.composite
+def solver_inputs(draw):
+    n_nodes = draw(st.integers(min_value=1, max_value=6))
+    nodes = [
+        NodeSpec(f"n{i}", processors=draw(st.integers(1, 8)),
+                 mhz_per_processor=3000.0,
+                 memory_mb=draw(st.sampled_from([2000.0, 4000.0, 8000.0])))
+        for i in range(n_nodes)
+    ]
+    n_jobs = draw(st.integers(min_value=0, max_value=25))
+    node_choices = [None] + [n.node_id for n in nodes]
+    jobs = []
+    for i in range(n_jobs):
+        current = draw(st.sampled_from(node_choices))
+        jobs.append(
+            JobRequest(
+                job_id=f"j{i:02d}",
+                vm_id=f"vm-j{i:02d}",
+                target_rate=draw(st.floats(0.0, 4000.0)),
+                speed_cap=draw(st.sampled_from([1500.0, 3000.0])),
+                memory_mb=draw(st.sampled_from([600.0, 1200.0])),
+                current_node=current,
+                was_suspended=draw(st.booleans()) if current is None else False,
+                submit_time=float(i),
+            )
+        )
+    # Keep retained memory feasible per node (as the runner guarantees):
+    # drop retained jobs that would overflow their host.
+    mem_used: dict[str, float] = {}
+    filtered = []
+    node_mem = {n.node_id: n.memory_mb for n in nodes}
+    for request in jobs:
+        if request.current_node is not None:
+            used = mem_used.get(request.current_node, 0.0)
+            if used + request.memory_mb > node_mem[request.current_node]:
+                request = JobRequest(
+                    job_id=request.job_id, vm_id=request.vm_id,
+                    target_rate=request.target_rate, speed_cap=request.speed_cap,
+                    memory_mb=request.memory_mb, current_node=None,
+                    was_suspended=True, submit_time=request.submit_time,
+                )
+            else:
+                mem_used[request.current_node] = used + request.memory_mb
+        filtered.append(request)
+
+    has_app = draw(st.booleans())
+    apps = []
+    if has_app:
+        apps.append(
+            AppRequest(
+                app_id="web",
+                target_allocation=draw(st.floats(0.0, 60_000.0)),
+                instance_memory_mb=400.0,
+                min_instances=1,
+                max_instances=n_nodes,
+                current_nodes=frozenset(),
+            )
+        )
+    lr_target = draw(st.one_of(st.none(), st.floats(0.0, 100_000.0)))
+    budget = draw(st.one_of(st.none(), st.integers(0, 10)))
+    return nodes, apps, filtered, lr_target, budget
+
+
+@given(solver_inputs())
+@settings(max_examples=150, deadline=None)
+def test_solution_is_always_feasible(inputs):
+    nodes, apps, jobs, lr_target, budget = inputs
+    solver = PlacementSolver(SolverConfig(change_budget=budget))
+    solution = solver.solve(nodes, apps, jobs, lr_target=lr_target)
+
+    solution.placement.validate(Cluster(nodes))
+
+    caps = {f"vm-{r.job_id}": r.speed_cap for r in jobs}
+    for entry in solution.placement:
+        if entry.vm_id in caps:
+            assert entry.cpu_mhz <= caps[entry.vm_id] * (1 + 1e-9)
+
+    if budget is not None:
+        assert solution.changes <= budget
+
+    placed_jobs = [e.vm_id for e in solution.placement if e.vm_id.startswith("vm-")]
+    assert len(placed_jobs) == len(set(placed_jobs))
+
+
+@given(solver_inputs())
+@settings(max_examples=100, deadline=None)
+def test_lr_target_bounds_total_job_cpu(inputs):
+    nodes, apps, jobs, lr_target, budget = inputs
+    solver = PlacementSolver(SolverConfig(change_budget=budget))
+    solution = solver.solve(nodes, apps, jobs, lr_target=lr_target)
+    if lr_target is not None:
+        # Per-job targets are authoritative for admission/retention (in the
+        # controller flow their sum is <= lr_target by construction); the
+        # boost phase can only top the total up to lr_target.  So the
+        # aggregate can never exceed the larger of the two.
+        total_targets = sum(min(r.target_rate, r.speed_cap) for r in jobs)
+        bound = max(lr_target, total_targets)
+        assert solution.satisfied_lr_demand <= bound * (1 + 1e-6) + 1e-9
+
+
+@given(solver_inputs())
+@settings(max_examples=75, deadline=None)
+def test_solver_is_deterministic(inputs):
+    nodes, apps, jobs, lr_target, budget = inputs
+    solver = PlacementSolver(SolverConfig(change_budget=budget))
+    a = solver.solve(nodes, apps, jobs, lr_target=lr_target)
+    b = solver.solve(nodes, apps, jobs, lr_target=lr_target)
+    assert {e.vm_id: (e.node_id, round(e.cpu_mhz, 6)) for e in a.placement} == {
+        e.vm_id: (e.node_id, round(e.cpu_mhz, 6)) for e in b.placement
+    }

@@ -1,0 +1,63 @@
+"""Property-based tests for the queueing models."""
+
+import math
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.perf import ClosedTransactionalModel, OpenTransactionalModel, erlang_b
+
+rates = st.floats(min_value=0.1, max_value=500.0, allow_nan=False)
+cycles = st.floats(min_value=10.0, max_value=5000.0, allow_nan=False)
+caps = st.floats(min_value=100.0, max_value=5000.0, allow_nan=False)
+
+
+@given(st.floats(0.5, 200.0), st.floats(0.0, 300.0))
+@settings(max_examples=200, deadline=None)
+def test_erlang_b_is_a_probability(m, a):
+    b = erlang_b(m, a)
+    assert 0.0 <= b <= 1.0
+
+
+@given(st.floats(0.5, 100.0), st.floats(0.1, 100.0), st.floats(1.01, 3.0))
+@settings(max_examples=200, deadline=None)
+def test_erlang_b_decreasing_in_servers(m, a, factor):
+    assert erlang_b(m * factor, a) <= erlang_b(m, a) + 1e-12
+
+
+@given(rates, cycles, caps, st.floats(1.05, 5.0), st.floats(1.1, 4.0))
+@settings(max_examples=150, deadline=None)
+def test_open_rt_decreasing_in_allocation(lam, s, cap, slack, factor):
+    model = OpenTransactionalModel(lam, s, cap)
+    base = model.offered_load_mhz * slack
+    rt_low = model.response_time(base)
+    rt_high = model.response_time(base * factor)
+    assert rt_high <= rt_low + 1e-12
+    assert rt_high >= model.min_response_time - 1e-12
+
+
+@given(rates, cycles, caps, st.floats(1.1, 20.0))
+@settings(max_examples=100, deadline=None)
+def test_open_inversion_round_trip(lam, s, cap, rt_mult):
+    model = OpenTransactionalModel(lam, s, cap)
+    target = model.min_response_time * rt_mult
+    allocation = model.allocation_for_rt(target)
+    assert model.response_time(allocation) <= target * (1 + 1e-6)
+
+
+@given(st.floats(1.0, 2000.0), st.floats(0.0, 10.0), cycles, caps,
+       st.floats(0.01, 10.0))
+@settings(max_examples=200, deadline=None)
+def test_closed_model_consistency(clients, think, s, cap, alloc_frac):
+    model = ClosedTransactionalModel(clients, think, s, cap)
+    allocation = model.saturation_demand * alloc_frac
+    assume(allocation > 0)
+    rt = model.response_time(allocation)
+    x = model.throughput(allocation)
+    # Response time bounded below by the floor; throughput by the
+    # population limit and by work conservation.
+    assert rt >= model.min_response_time - 1e-9
+    assert x <= clients / (think + model.min_response_time) + 1e-9
+    assert x * s <= allocation * (1 + 1e-9) or rt == model.min_response_time
+    # Little's law over the cycle: N = X * (Z + RT).
+    assert math.isclose(x * (think + rt), clients, rel_tol=1e-6)

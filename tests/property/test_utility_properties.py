@@ -1,0 +1,50 @@
+"""Property-based tests for utility shapes (monotonicity, bounds)."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.utility import (
+    LinearUtility,
+    PiecewiseLinearUtility,
+    SigmoidUtility,
+    StepUtility,
+)
+
+slacks = st.floats(min_value=-100.0, max_value=100.0, allow_nan=False)
+
+
+def shape_strategies():
+    return st.one_of(
+        st.builds(LinearUtility, floor=st.floats(-10.0, -0.1)),
+        st.builds(
+            SigmoidUtility,
+            midpoint=st.floats(-1.0, 1.0),
+            steepness=st.floats(0.5, 20.0),
+        ),
+        st.builds(StepUtility, threshold=st.floats(-1.0, 1.0)),
+        st.just(PiecewiseLinearUtility([(-1.0, -1.0), (0.0, 0.2), (1.0, 1.0)])),
+    )
+
+
+@given(shape_strategies(), slacks, slacks)
+@settings(max_examples=300, deadline=None)
+def test_all_shapes_monotone_nondecreasing(shape, a, b):
+    lo, hi = min(a, b), max(a, b)
+    assert shape(lo) <= shape(hi) + 1e-12
+
+
+@given(shape_strategies(), slacks)
+@settings(max_examples=300, deadline=None)
+def test_all_shapes_bounded_and_finite(shape, slack):
+    value = shape(slack)
+    assert math.isfinite(value)
+    assert -10.0 <= value <= 1.0
+
+
+@given(st.floats(-0.99, 0.99))
+@settings(max_examples=200, deadline=None)
+def test_linear_inverse_round_trip(utility):
+    shape = LinearUtility(floor=-1.0)
+    assert shape(shape.inverse(utility)) == utility

@@ -1,0 +1,47 @@
+"""Property-based tests for max-min fair water-filling."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import water_fill
+
+target_lists = st.lists(
+    st.floats(min_value=0.0, max_value=10_000.0, allow_nan=False),
+    min_size=1, max_size=30,
+)
+capacities = st.floats(min_value=0.0, max_value=50_000.0, allow_nan=False)
+
+
+@given(target_lists, capacities)
+@settings(max_examples=300, deadline=None)
+def test_conservation(targets, capacity):
+    out = water_fill(targets, capacity)
+    assert sum(out) <= min(capacity, sum(targets)) * (1 + 1e-9) + 1e-9
+    assert sum(out) >= min(capacity, sum(targets)) * (1 - 1e-9) - 1e-9
+
+
+@given(target_lists, capacities)
+@settings(max_examples=300, deadline=None)
+def test_no_grant_exceeds_target(targets, capacity):
+    out = water_fill(targets, capacity)
+    assert all(g <= t + 1e-9 for g, t in zip(out, targets))
+    assert all(g >= 0.0 for g in out)
+
+
+@given(target_lists, capacities)
+@settings(max_examples=300, deadline=None)
+def test_max_min_fairness_water_level(targets, capacity):
+    """Unsatisfied entries all sit at the common water level."""
+    out = water_fill(targets, capacity)
+    unsatisfied = [g for g, t in zip(out, targets) if g < t - 1e-6]
+    if len(unsatisfied) >= 2:
+        assert np.ptp(unsatisfied) < 1e-6
+
+
+@given(target_lists, capacities, st.floats(1.01, 3.0))
+@settings(max_examples=200, deadline=None)
+def test_monotone_in_capacity(targets, capacity, factor):
+    low = water_fill(targets, capacity)
+    high = water_fill(targets, capacity * factor)
+    assert all(h >= l - 1e-9 for h, l in zip(high, low))

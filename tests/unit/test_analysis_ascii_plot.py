@@ -1,0 +1,51 @@
+"""Unit tests for the terminal plotter."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import ascii_plot
+from repro.errors import ConfigurationError
+
+
+class TestAsciiPlot:
+    def test_renders_title_axes_and_legend(self):
+        out = ascii_plot(
+            {"a": ([0.0, 1.0], [0.0, 1.0])},
+            title="Demo", y_label="units",
+        )
+        assert "Demo" in out
+        assert "* a" in out
+        assert "[y: units]" in out
+
+    def test_marker_appears_in_grid(self):
+        out = ascii_plot({"a": ([0.0, 1.0, 2.0], [0.0, 1.0, 0.5])})
+        assert "*" in out
+
+    def test_multiple_series_get_distinct_markers(self):
+        out = ascii_plot({
+            "first": ([0.0, 1.0], [0.0, 1.0]),
+            "second": ([0.0, 1.0], [1.0, 0.0]),
+        })
+        assert "* first" in out
+        assert "o second" in out
+
+    def test_constant_series_does_not_crash(self):
+        out = ascii_plot({"flat": ([0.0, 1.0], [5.0, 5.0])})
+        assert "flat" in out
+
+    def test_nonfinite_points_dropped(self):
+        out = ascii_plot({"a": (np.array([0.0, 1.0, 2.0]),
+                                np.array([0.0, np.inf, 1.0]))})
+        assert "a" in out
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ascii_plot({})
+
+    def test_mismatched_data_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ascii_plot({"a": ([0.0, 1.0], [0.0])})
+
+    def test_too_small_area_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ascii_plot({"a": ([0.0], [0.0])}, width=4, height=2)

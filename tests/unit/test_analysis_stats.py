@@ -1,0 +1,84 @@
+"""Unit tests for summary statistics."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    Summary,
+    equalization_error,
+    job_outcome_stats,
+    job_outcomes_by_class,
+)
+from repro.errors import ConfigurationError
+
+from ..conftest import make_job
+
+
+def finished_job(job_id: str, rate: float, goal: float = 4000.0,
+                 job_class: str = "batch"):
+    job = make_job(job_id=job_id, work=3_000_000.0, goal=goal, job_class=job_class)
+    job.start(0.0, "n0", rate)
+    duration = 3_000_000.0 / min(rate, 3000.0)
+    job.advance_to(duration)
+    job.complete(duration)
+    return job
+
+
+class TestSummary:
+    def test_basic_statistics(self):
+        s = Summary.of([1.0, 2.0, 3.0, 4.0])
+        assert s.count == 4
+        assert s.mean == pytest.approx(2.5)
+        assert s.minimum == 1.0
+        assert s.maximum == 4.0
+        assert s.p50 == pytest.approx(2.5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Summary.of([])
+
+
+class TestEqualizationError:
+    def test_zero_when_equal(self):
+        a = np.array([0.5, 0.4])
+        assert equalization_error(a, a.copy()) == 0.0
+
+    def test_mean_absolute_gap(self):
+        assert equalization_error(np.array([1.0, 0.0]), np.array([0.0, 0.0])) == 0.5
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            equalization_error(np.array([1.0]), np.array([1.0, 2.0]))
+
+
+class TestJobOutcomes:
+    def test_counts_and_means(self):
+        jobs = [finished_job("a", 3000.0), finished_job("b", 500.0), make_job(job_id="c")]
+        stats = job_outcome_stats(jobs)
+        assert stats.submitted == 3
+        assert stats.completed == 2
+        assert stats.on_time == 1  # b finishes at 6000 > goal 4000
+        assert stats.completion_fraction == pytest.approx(2 / 3)
+        assert stats.mean_tardiness == pytest.approx(1000.0)  # (0 + 2000)/2
+
+    def test_horizon_filters_submissions(self):
+        jobs = [make_job(job_id="late", submit=1e6), finished_job("a", 3000.0)]
+        stats = job_outcome_stats(jobs, horizon=1000.0)
+        assert stats.submitted == 1
+
+    def test_no_completions_yields_nan(self):
+        stats = job_outcome_stats([make_job()])
+        assert math.isnan(stats.mean_utility)
+        assert math.isnan(stats.on_time_fraction)
+
+    def test_by_class_breakdown(self):
+        jobs = [
+            finished_job("g", 3000.0, job_class="gold"),
+            finished_job("s", 500.0, job_class="silver"),
+        ]
+        by_class = job_outcomes_by_class(jobs)
+        assert set(by_class) == {"gold", "silver"}
+        assert by_class["gold"].on_time == 1
+        assert by_class["silver"].on_time == 0

@@ -1,0 +1,74 @@
+"""Unit tests for time-series analysis helpers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import first_crossing, integrate, moving_average, regular_grid, window_mean
+from repro.errors import ConfigurationError
+from repro.sim import Series
+
+
+class TestGrid:
+    def test_regular_grid(self):
+        grid = regular_grid(0.0, 10.0, 2.5)
+        assert np.allclose(grid, [0.0, 2.5, 5.0, 7.5])
+
+    def test_invalid_grid_rejected(self):
+        with pytest.raises(ConfigurationError):
+            regular_grid(0.0, 10.0, 0.0)
+        with pytest.raises(ConfigurationError):
+            regular_grid(10.0, 0.0, 1.0)
+
+
+class TestMovingAverage:
+    def test_window_one_is_identity(self):
+        values = np.array([1.0, 5.0, 2.0])
+        assert np.array_equal(moving_average(values, 1), values)
+
+    def test_constant_signal_unchanged(self):
+        values = np.full(10, 3.0)
+        assert np.allclose(moving_average(values, 5), 3.0)
+
+    def test_smooths_a_spike(self):
+        values = np.array([0.0, 0.0, 9.0, 0.0, 0.0])
+        smoothed = moving_average(values, 3)
+        assert smoothed[2] == pytest.approx(3.0)
+
+    def test_output_length_preserved(self):
+        values = np.arange(7, dtype=float)
+        assert moving_average(values, 4).shape == values.shape
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(ConfigurationError):
+            moving_average(np.array([1.0]), 0)
+
+
+class TestFirstCrossing:
+    def test_detects_downward_crossing(self):
+        t = np.array([0.0, 1.0, 2.0, 3.0])
+        a = np.array([5.0, 4.0, 2.0, 1.0])
+        b = np.array([3.0, 3.0, 3.0, 3.0])
+        assert first_crossing(t, a, b) == 2.0
+
+    def test_after_filter(self):
+        t = np.array([0.0, 1.0, 2.0, 3.0, 4.0])
+        a = np.array([5.0, 2.0, 5.0, 5.0, 2.0])
+        b = np.full(5, 3.0)
+        assert first_crossing(t, a, b, after=1.5) == 4.0
+
+    def test_no_crossing_returns_none(self):
+        t = np.array([0.0, 1.0])
+        assert first_crossing(t, np.array([5.0, 5.0]), np.array([1.0, 1.0])) is None
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            first_crossing(np.array([0.0]), np.array([1.0, 2.0]), np.array([1.0, 2.0]))
+
+
+class TestWindowOps:
+    def test_window_mean_and_integrate(self):
+        s = Series("x")
+        s.append(0.0, 2.0)
+        s.append(10.0, 4.0)
+        assert window_mean(s, 0.0, 20.0) == pytest.approx(3.0)
+        assert integrate(s, 0.0, 20.0) == pytest.approx(60.0)

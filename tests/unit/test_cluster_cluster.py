@@ -1,0 +1,72 @@
+"""Unit tests for the cluster container and health tracking."""
+
+import pytest
+
+from repro.cluster import Cluster, NodeSpec, homogeneous_cluster
+from repro.errors import ConfigurationError, UnknownEntityError
+
+
+def node(nid: str) -> NodeSpec:
+    return NodeSpec(nid, 4, 3000.0, 4000.0)
+
+
+class TestClusterBasics:
+    def test_len_and_iteration_order(self):
+        cluster = Cluster([node("a"), node("b")])
+        assert len(cluster) == 2
+        assert [n.node_id for n in cluster] == ["a", "b"]
+
+    def test_lookup(self):
+        cluster = Cluster([node("a")])
+        assert cluster.node("a").node_id == "a"
+        assert "a" in cluster
+        assert "zz" not in cluster
+
+    def test_unknown_node_raises(self):
+        cluster = Cluster([node("a")])
+        with pytest.raises(UnknownEntityError):
+            cluster.node("zz")
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Cluster([node("a"), node("a")])
+
+    def test_empty_cluster_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Cluster([])
+
+
+class TestHealth:
+    def test_fail_and_restore(self):
+        cluster = homogeneous_cluster(3)
+        nid = cluster.node_ids[0]
+        assert cluster.is_active(nid)
+        cluster.fail_node(nid)
+        assert not cluster.is_active(nid)
+        assert nid in cluster.failed_node_ids
+        cluster.restore_node(nid)
+        assert cluster.is_active(nid)
+
+    def test_failing_unknown_node_raises(self):
+        cluster = homogeneous_cluster(2)
+        with pytest.raises(UnknownEntityError):
+            cluster.fail_node("ghost")
+
+    def test_active_nodes_excludes_failed(self):
+        cluster = homogeneous_cluster(3)
+        cluster.fail_node(cluster.node_ids[1])
+        actives = [n.node_id for n in cluster.active_nodes()]
+        assert cluster.node_ids[1] not in actives
+        assert len(actives) == 2
+
+    def test_capacity_tracks_failures(self):
+        cluster = homogeneous_cluster(2)
+        full = cluster.total_cpu_capacity
+        cluster.fail_node(cluster.node_ids[0])
+        assert cluster.total_cpu_capacity == pytest.approx(full / 2)
+        assert cluster.total_memory == pytest.approx(4000.0)
+
+    def test_restore_is_idempotent(self):
+        cluster = homogeneous_cluster(2)
+        cluster.restore_node(cluster.node_ids[0])  # never failed
+        assert cluster.is_active(cluster.node_ids[0])

@@ -1,0 +1,33 @@
+"""Unit tests for node specs."""
+
+import pytest
+
+from repro.cluster import NodeSpec
+from repro.errors import ConfigurationError
+
+
+class TestNodeSpec:
+    def test_cpu_capacity_is_processors_times_speed(self):
+        node = NodeSpec("n0", processors=4, mhz_per_processor=3000.0, memory_mb=4000.0)
+        assert node.cpu_capacity == 12_000.0
+
+    def test_empty_id_rejected(self):
+        with pytest.raises(ConfigurationError):
+            NodeSpec("", 4, 3000.0, 4000.0)
+
+    def test_zero_processors_rejected(self):
+        with pytest.raises(ConfigurationError):
+            NodeSpec("n0", 0, 3000.0, 4000.0)
+
+    def test_nonpositive_speed_rejected(self):
+        with pytest.raises(ConfigurationError):
+            NodeSpec("n0", 4, 0.0, 4000.0)
+
+    def test_nonpositive_memory_rejected(self):
+        with pytest.raises(ConfigurationError):
+            NodeSpec("n0", 4, 3000.0, -1.0)
+
+    def test_frozen(self):
+        node = NodeSpec("n0", 4, 3000.0, 4000.0)
+        with pytest.raises(AttributeError):
+            node.processors = 8  # type: ignore[misc]

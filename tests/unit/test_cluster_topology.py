@@ -1,0 +1,44 @@
+"""Unit tests for topology builders."""
+
+import pytest
+
+from repro.cluster import (
+    PAPER_NODE_COUNT,
+    heterogeneous_cluster,
+    homogeneous_cluster,
+    paper_cluster,
+)
+from repro.errors import ConfigurationError
+
+
+class TestBuilders:
+    def test_homogeneous_count_and_ids(self):
+        cluster = homogeneous_cluster(3, prefix="m")
+        assert cluster.node_ids == ["m000", "m001", "m002"]
+
+    def test_homogeneous_rejects_zero_nodes(self):
+        with pytest.raises(ConfigurationError):
+            homogeneous_cluster(0)
+
+    def test_paper_cluster_matches_evaluation_setup(self):
+        cluster = paper_cluster()
+        assert len(cluster) == PAPER_NODE_COUNT == 25
+        node = cluster.node(cluster.node_ids[0])
+        assert node.processors == 4
+        # 25 nodes x 4 x 3000 MHz = 300 GHz
+        assert cluster.total_cpu_capacity == pytest.approx(300_000.0)
+
+    def test_paper_node_fits_exactly_three_jobs(self):
+        node = paper_cluster().node("node000")
+        job_mem = 1200.0
+        assert 3 * job_mem <= node.memory_mb
+        assert 4 * job_mem > node.memory_mb
+
+    def test_heterogeneous_racks(self):
+        cluster = heterogeneous_cluster([(2, 4, 3000.0, 4000.0), (1, 8, 2000.0, 8000.0)])
+        assert len(cluster) == 3
+        assert cluster.node("rack1-node000").processors == 8
+
+    def test_heterogeneous_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            heterogeneous_cluster([])

@@ -1,0 +1,107 @@
+"""Unit tests for the VM lifecycle state machine."""
+
+import pytest
+
+from repro.cluster import VirtualMachine, VmState
+from repro.errors import LifecycleError
+from repro.types import WorkloadKind
+
+
+def make_vm() -> VirtualMachine:
+    return VirtualMachine("vm0", WorkloadKind.LONG_RUNNING, "job0", memory_mb=1200.0)
+
+
+class TestLifecycle:
+    def test_initial_state_pending(self):
+        vm = make_vm()
+        assert vm.state is VmState.PENDING
+        assert vm.node_id is None
+        assert vm.cpu_allocation == 0.0
+
+    def test_start_places_on_node(self):
+        vm = make_vm()
+        vm.start("n0", 1500.0)
+        assert vm.state is VmState.RUNNING
+        assert vm.node_id == "n0"
+        assert vm.cpu_allocation == 1500.0
+        assert vm.is_running
+
+    def test_suspend_releases_node(self):
+        vm = make_vm()
+        vm.start("n0", 1500.0)
+        vm.suspend()
+        assert vm.state is VmState.SUSPENDED
+        assert vm.node_id is None
+        assert vm.cpu_allocation == 0.0
+        assert vm.suspensions == 1
+
+    def test_resume_via_start_on_other_node(self):
+        vm = make_vm()
+        vm.start("n0")
+        vm.suspend()
+        vm.start("n1", 900.0)
+        assert vm.state is VmState.RUNNING
+        assert vm.node_id == "n1"
+
+    def test_migrate_moves_host(self):
+        vm = make_vm()
+        vm.start("n0", 1000.0)
+        vm.migrate("n1", 2000.0)
+        assert vm.node_id == "n1"
+        assert vm.cpu_allocation == 2000.0
+        assert vm.migrations == 1
+
+    def test_migrate_to_same_host_rejected(self):
+        vm = make_vm()
+        vm.start("n0")
+        with pytest.raises(LifecycleError):
+            vm.migrate("n0")
+
+    def test_stop_is_terminal(self):
+        vm = make_vm()
+        vm.start("n0")
+        vm.stop()
+        assert vm.state is VmState.STOPPED
+        with pytest.raises(LifecycleError):
+            vm.start("n1")
+        with pytest.raises(LifecycleError):
+            vm.stop()
+
+    def test_stop_from_pending_allowed(self):
+        vm = make_vm()
+        vm.stop()
+        assert vm.state is VmState.STOPPED
+
+    def test_start_while_running_rejected(self):
+        vm = make_vm()
+        vm.start("n0")
+        with pytest.raises(LifecycleError):
+            vm.start("n1")
+
+    def test_suspend_while_pending_rejected(self):
+        with pytest.raises(LifecycleError):
+            make_vm().suspend()
+
+    def test_migrate_while_suspended_rejected(self):
+        vm = make_vm()
+        vm.start("n0")
+        vm.suspend()
+        with pytest.raises(LifecycleError):
+            vm.migrate("n1")
+
+
+class TestAllocation:
+    def test_set_allocation_requires_running(self):
+        vm = make_vm()
+        with pytest.raises(LifecycleError):
+            vm.set_allocation(100.0)
+
+    def test_negative_allocation_rejected(self):
+        vm = make_vm()
+        vm.start("n0")
+        with pytest.raises(LifecycleError):
+            vm.set_allocation(-1.0)
+
+    def test_nonpositive_memory_rejected(self):
+        with pytest.raises(LifecycleError):
+            VirtualMachine("vm0", WorkloadKind.TRANSACTIONAL, "app", memory_mb=0.0)

@@ -1,0 +1,76 @@
+"""Unit tests for configuration validation."""
+
+import pytest
+
+from repro.config import ControllerConfig, NoiseConfig, SolverConfig, validate_budget
+from repro.errors import ConfigurationError
+
+
+class TestControllerConfig:
+    def test_defaults_match_paper(self):
+        config = ControllerConfig()
+        assert config.control_cycle == 600.0
+        assert config.arbiter == "bisection"
+        assert config.lr_metric == "mean"
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"control_cycle": 0.0},
+            {"arbiter": "oracle"},
+            {"lr_metric": "median"},
+            {"capacity_efficiency": 0.0},
+            {"capacity_efficiency": 1.5},
+            {"rt_tolerance": 0.0},
+            {"estimator_alpha": 0.0},
+        ],
+    )
+    def test_invalid_values_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            ControllerConfig(**kwargs)
+
+    def test_frozen(self):
+        config = ControllerConfig()
+        with pytest.raises(AttributeError):
+            config.control_cycle = 10.0  # type: ignore[misc]
+
+
+class TestSolverConfig:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"min_job_rate": -1.0},
+            {"change_budget": -1},
+            {"eviction_margin": -0.1},
+            {"max_evictions": -1},
+            {"migration_deficit": 1.5},
+            {"max_migrations": -1},
+            {"web_start_threshold": 1.0},
+        ],
+    )
+    def test_invalid_values_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            SolverConfig(**kwargs)
+
+    def test_unlimited_budget_default(self):
+        assert SolverConfig().change_budget is None
+
+
+class TestNoiseConfig:
+    def test_zero_noise_allowed(self):
+        NoiseConfig(0.0, 0.0, 0.0)
+
+    def test_negative_noise_rejected(self):
+        with pytest.raises(ConfigurationError):
+            NoiseConfig(response_time_rel_std=-0.1)
+
+
+class TestBudgetValidation:
+    def test_accepts_none_and_nonnegative(self):
+        validate_budget(None)
+        validate_budget(0)
+        validate_budget(5)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            validate_budget(-1)

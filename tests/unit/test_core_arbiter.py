@@ -1,0 +1,109 @@
+"""Unit tests for the cross-workload CPU arbiter."""
+
+import pytest
+
+from repro.core import (
+    BisectionArbiter,
+    LongRunningCurve,
+    StealingArbiter,
+    TransactionalCurve,
+    make_arbiter,
+)
+from repro.errors import ConfigurationError
+from repro.perf import ClosedTransactionalModel
+from repro.utility import TransactionalUtility
+
+from ..conftest import make_population
+
+
+def tx_curve(clients=210.0):
+    model = ClosedTransactionalModel(clients, 0.2, 300.0, 3000.0)
+    return TransactionalCurve(model, TransactionalUtility(0.4))
+
+
+def lr_curve(num_jobs=60, remaining=3_000_000.0):
+    pop = make_population(0.0, [remaining] * num_jobs,
+                          goal_lengths=[4000.0] * num_jobs)
+    return LongRunningCurve(pop)
+
+
+ARBITERS = [BisectionArbiter(), StealingArbiter()]
+
+
+class TestSaturatedCase:
+    @pytest.mark.parametrize("arbiter", ARBITERS, ids=["bisection", "stealing"])
+    def test_both_demands_met_when_capacity_suffices(self, arbiter):
+        tx = tx_curve(clients=50.0)   # demand ~50k
+        lr = lr_curve(num_jobs=5)     # demand 15k
+        result = arbiter.split(300_000.0, tx, lr)
+        assert result.tx_allocation == pytest.approx(tx.max_utility_demand)
+        assert result.lr_allocation == pytest.approx(lr.max_utility_demand)
+        assert not result.equalized
+
+
+class TestEqualization:
+    @pytest.mark.parametrize("arbiter", ARBITERS, ids=["bisection", "stealing"])
+    def test_utilities_equalized_under_contention(self, arbiter):
+        tx = tx_curve()               # demand ~210k
+        lr = lr_curve(num_jobs=80)    # demand 240k
+        result = arbiter.split(300_000.0, tx, lr)
+        assert result.equalized
+        assert result.utility_gap < 0.02
+        assert result.tx_allocation + result.lr_allocation <= 300_000.0 * (1 + 1e-9)
+
+    def test_both_arbiters_agree_on_fixed_point(self):
+        tx = tx_curve()
+        lr = lr_curve(num_jobs=80)
+        a = BisectionArbiter().split(300_000.0, tx, lr)
+        b = StealingArbiter().split(300_000.0, tx, lr)
+        assert a.tx_allocation == pytest.approx(b.tx_allocation, rel=0.02)
+        assert a.tx_utility == pytest.approx(b.tx_utility, abs=0.02)
+
+    @pytest.mark.parametrize("arbiter", ARBITERS, ids=["bisection", "stealing"])
+    def test_more_jobs_shift_cpu_away_from_tx(self, arbiter):
+        tx = tx_curve()
+        light = arbiter.split(300_000.0, tx, lr_curve(num_jobs=40))
+        heavy = arbiter.split(300_000.0, tx, lr_curve(num_jobs=120))
+        assert heavy.tx_allocation < light.tx_allocation
+        assert heavy.lr_allocation > light.lr_allocation
+
+    @pytest.mark.parametrize("arbiter", ARBITERS, ids=["bisection", "stealing"])
+    def test_no_allocation_beyond_demand(self, arbiter):
+        tx = tx_curve(clients=30.0)   # tiny TX demand
+        lr = lr_curve(num_jobs=200)   # huge LR demand
+        result = arbiter.split(300_000.0, tx, lr)
+        assert result.tx_allocation <= tx.max_utility_demand * (1 + 1e-9)
+
+
+class TestBoundaryCases:
+    def test_zero_capacity(self):
+        result = BisectionArbiter().split(0.0, tx_curve(), lr_curve())
+        assert result.tx_allocation == 0.0
+        assert result.lr_allocation == 0.0
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BisectionArbiter().split(-1.0, tx_curve(), lr_curve())
+
+    def test_empty_lr_population_gives_tx_its_demand(self):
+        tx = tx_curve()
+        lr = lr_curve(num_jobs=0)
+        result = BisectionArbiter().split(300_000.0, tx, lr)
+        assert result.tx_allocation == pytest.approx(tx.max_utility_demand)
+        assert result.lr_allocation == 0.0
+
+
+class TestFactory:
+    def test_known_names(self):
+        assert isinstance(make_arbiter("bisection"), BisectionArbiter)
+        assert isinstance(make_arbiter("stealing"), StealingArbiter)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_arbiter("oracle")
+
+    def test_invalid_tolerances_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BisectionArbiter(utility_tolerance=0.0)
+        with pytest.raises(ConfigurationError):
+            StealingArbiter(initial_quantum_fraction=0.9)

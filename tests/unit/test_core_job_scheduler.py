@@ -1,0 +1,96 @@
+"""Unit tests for job-selection policies and request types."""
+
+import pytest
+
+from repro.core import AppRequest, EvictionPolicy, JobRequest, order_by_urgency, split_runnable
+from repro.errors import ConfigurationError
+
+
+def req(job_id: str, target: float, submit: float = 0.0, mem: float = 1200.0,
+        node: str | None = None) -> JobRequest:
+    return JobRequest(
+        job_id=job_id,
+        vm_id=f"vm-{job_id}",
+        target_rate=target,
+        speed_cap=3000.0,
+        memory_mb=mem,
+        current_node=node,
+        was_suspended=False,
+        submit_time=submit,
+    )
+
+
+class TestRequests:
+    def test_job_request_validation(self):
+        with pytest.raises(ConfigurationError):
+            req("a", -1.0)
+        with pytest.raises(ConfigurationError):
+            req("a", 1.0, mem=0.0)
+
+    def test_app_request_vm_id_stable(self):
+        app = AppRequest(
+            app_id="web", target_allocation=1000.0, instance_memory_mb=400.0,
+            min_instances=1, max_instances=4, current_nodes=frozenset(),
+        )
+        assert app.instance_vm_id("n3") == "tx:web@n3"
+
+    def test_app_request_validation(self):
+        with pytest.raises(ConfigurationError):
+            AppRequest("web", -1.0, 400.0, 1, 4, frozenset())
+        with pytest.raises(ConfigurationError):
+            AppRequest("web", 1.0, 400.0, 2, 1, frozenset())
+
+
+class TestOrdering:
+    def test_highest_target_first(self):
+        ordered = order_by_urgency([req("a", 100.0), req("b", 900.0), req("c", 500.0)])
+        assert [r.job_id for r in ordered] == ["b", "c", "a"]
+
+    def test_ties_broken_by_submit_then_id(self):
+        ordered = order_by_urgency([
+            req("b", 100.0, submit=5.0),
+            req("a", 100.0, submit=5.0),
+            req("c", 100.0, submit=1.0),
+        ])
+        assert [r.job_id for r in ordered] == ["c", "a", "b"]
+
+    def test_split_runnable_threshold(self):
+        run, defer = split_runnable([req("a", 100.0), req("b", 500.0)], min_rate=150.0)
+        assert [r.job_id for r in run] == ["b"]
+        assert [r.job_id for r in defer] == ["a"]
+
+    def test_split_runnable_negative_threshold_rejected(self):
+        with pytest.raises(ConfigurationError):
+            split_runnable([], min_rate=-1.0)
+
+
+class TestEvictionPolicy:
+    def test_margin_gates_eviction(self):
+        policy = EvictionPolicy(margin=0.25)
+        waiting = req("w", 1300.0)
+        assert policy.should_evict(waiting, req("v", 1000.0))
+        assert not policy.should_evict(waiting, req("v", 1100.0))
+
+    def test_pick_victim_least_urgent_eligible(self):
+        policy = EvictionPolicy(margin=0.0)
+        waiting = req("w", 2000.0)
+        running = [req("a", 1500.0, node="n0"), req("b", 500.0, node="n1"),
+                   req("c", 900.0, node="n2")]
+        victim = policy.pick_victim(waiting, running)
+        assert victim is not None and victim.job_id == "b"
+
+    def test_pick_victim_requires_memory_fit(self):
+        policy = EvictionPolicy(margin=0.0)
+        waiting = req("w", 2000.0, mem=2000.0)
+        running = [req("a", 100.0, mem=1200.0, node="n0")]  # too small a slot
+        assert policy.pick_victim(waiting, running) is None
+
+    def test_no_victim_when_all_urgent(self):
+        policy = EvictionPolicy(margin=0.25)
+        waiting = req("w", 1000.0)
+        running = [req("a", 950.0, node="n0")]
+        assert policy.pick_victim(waiting, running) is None
+
+    def test_negative_margin_rejected(self):
+        with pytest.raises(ConfigurationError):
+            EvictionPolicy(margin=-0.1)

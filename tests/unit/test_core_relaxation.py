@@ -1,0 +1,67 @@
+"""Unit tests for the LP placement relaxation and the solver's gap."""
+
+import pytest
+
+from repro.core import JobRequest, PlacementSolver
+from repro.core.relaxation import divisible_upper_bound, optimality_gap
+from repro.core.job_scheduler import AppRequest
+
+from ..conftest import make_node
+
+
+def job(job_id: str, target: float, mem: float = 1200.0) -> JobRequest:
+    return JobRequest(
+        job_id=job_id, vm_id=f"vm-{job_id}", target_rate=target,
+        speed_cap=3000.0, memory_mb=mem, current_node=None,
+        was_suspended=False, submit_time=0.0, remaining_work=1e7,
+    )
+
+
+class TestUpperBound:
+    def test_unconstrained_bound_is_total_demand(self):
+        nodes = [make_node("n0"), make_node("n1")]
+        jobs = [job("a", 2000.0), job("b", 1000.0)]
+        bound = divisible_upper_bound(nodes, jobs, web_target=5000.0)
+        assert bound.total == pytest.approx(8000.0, rel=1e-6)
+        assert bound.job_part == pytest.approx(3000.0, rel=1e-6)
+        assert bound.web_part == pytest.approx(5000.0, rel=1e-6)
+
+    def test_cpu_constraint_binds(self):
+        nodes = [make_node("n0", procs=1)]  # 3000 MHz
+        jobs = [job("a", 3000.0), job("b", 3000.0)]
+        bound = divisible_upper_bound(nodes, jobs, web_target=0.0)
+        assert bound.total == pytest.approx(3000.0, rel=1e-6)
+
+    def test_memory_constraint_binds(self):
+        nodes = [make_node("n0")]  # 4000 MB, 12000 MHz
+        jobs = [job(f"j{i}", 1000.0, mem=1600.0) for i in range(5)]
+        # Divisible memory: 4000/1600 = 2.5 jobs' worth of demand.
+        bound = divisible_upper_bound(nodes, jobs, web_target=0.0)
+        assert bound.total == pytest.approx(2500.0, rel=1e-6)
+
+    def test_no_jobs_web_only(self):
+        nodes = [make_node("n0")]
+        bound = divisible_upper_bound(nodes, [], web_target=20_000.0)
+        assert bound.total == pytest.approx(12_000.0, rel=1e-6)
+
+    def test_bound_dominates_integral_solver(self):
+        nodes = [make_node(f"n{i}") for i in range(3)]
+        jobs = [job(f"j{i:02d}", 1500.0 + 130.0 * (i % 7)) for i in range(12)]
+        apps = [AppRequest(
+            app_id="web", target_allocation=15_000.0, instance_memory_mb=400.0,
+            min_instances=1, max_instances=3, current_nodes=frozenset(),
+        )]
+        solution = PlacementSolver().solve(nodes, apps, jobs)
+        satisfied = solution.satisfied_lr_demand + solution.satisfied_tx_demand
+        bound = divisible_upper_bound(nodes, jobs, web_target=15_000.0)
+        assert satisfied <= bound.total * (1 + 1e-9)
+        # The greedy heuristic should be close to the relaxation here.
+        assert optimality_gap(satisfied, bound) < 0.1
+
+    def test_gap_helper(self):
+        from repro.core.relaxation import RelaxationBound
+
+        bound = RelaxationBound(total=100.0, job_part=60.0, web_part=40.0)
+        assert optimality_gap(100.0, bound) == 0.0
+        assert optimality_gap(90.0, bound) == pytest.approx(0.1)
+        assert optimality_gap(110.0, bound) == 0.0  # clamped

@@ -1,0 +1,89 @@
+"""Unit tests for the solver's migration-rebalance phase."""
+
+import pytest
+
+from repro.config import SolverConfig
+from repro.core import AppRequest, JobRequest, PlacementSolver
+
+from ..conftest import make_node
+
+
+def job(job_id: str, target: float, node: str | None = None,
+        mem: float = 1200.0) -> JobRequest:
+    return JobRequest(
+        job_id=job_id, vm_id=f"vm-{job_id}", target_rate=target,
+        speed_cap=3000.0, memory_mb=mem, current_node=node,
+        was_suspended=False, submit_time=0.0, remaining_work=30e6,
+    )
+
+
+class TestRebalance:
+    def test_starved_job_migrates_to_roomier_node(self):
+        # A weak 2-processor node (6 GHz) hosts four full-speed jobs (one
+        # with a small footprint so four fit): water-fill starves each to
+        # 1.5 GHz, below 90% of target, while a 4-processor node is empty.
+        solver = PlacementSolver(SolverConfig(migration_deficit=0.9))
+        running = [
+            job("a", 3000.0, node="n0"),
+            job("b", 3000.0, node="n0"),
+            job("c", 3000.0, node="n0"),
+            job("d", 3000.0, node="n0", mem=400.0),
+        ]
+        sol = solver.solve(
+            [make_node("n0", procs=2), make_node("n1")], [], running
+        )
+        assert sol.migrated_jobs, "expected at least one rebalancing migration"
+        migrated = sol.migrated_jobs[0]
+        assert sol.placement.entry(f"vm-{migrated}").node_id == "n1"
+        assert sol.job_rates[migrated] == pytest.approx(3000.0)
+
+    def test_no_migration_when_targets_met(self):
+        solver = PlacementSolver(SolverConfig(migration_deficit=0.9))
+        running = [job("a", 2000.0, node="n0"), job("b", 2000.0, node="n0")]
+        sol = solver.solve([make_node("n0"), make_node("n1")], [], running)
+        assert sol.migrated_jobs == []
+
+    def test_max_migrations_cap(self):
+        solver = PlacementSolver(
+            SolverConfig(migration_deficit=0.9, max_migrations=1)
+        )
+        running = [
+            job("a", 3000.0, node="n0"),
+            job("b", 3000.0, node="n0"),
+            job("c", 3000.0, node="n0"),
+            job("d", 3000.0, node="n0", mem=400.0),
+        ]
+        nodes = [make_node("n0", procs=2), make_node("n1"), make_node("n2")]
+        sol = solver.solve(nodes, [], running)
+        assert len(sol.migrated_jobs) <= 1
+
+    def test_zero_max_migrations_disables_phase(self):
+        solver = PlacementSolver(
+            SolverConfig(migration_deficit=0.9, max_migrations=0)
+        )
+        running = [
+            job("a", 3000.0, node="n0"),
+            job("b", 3000.0, node="n0"),
+            job("c", 3000.0, node="n0"),
+            job("d", 3000.0, node="n0", mem=400.0),
+        ]
+        sol = solver.solve(
+            [make_node("n0", procs=2), make_node("n1")], [], running
+        )
+        assert sol.migrated_jobs == []
+
+    def test_migration_counts_against_change_budget(self):
+        solver = PlacementSolver(
+            SolverConfig(migration_deficit=0.9, change_budget=0)
+        )
+        running = [
+            job("a", 3000.0, node="n0"),
+            job("b", 3000.0, node="n0"),
+            job("c", 3000.0, node="n0"),
+            job("d", 3000.0, node="n0", mem=400.0),
+        ]
+        sol = solver.solve(
+            [make_node("n0", procs=2), make_node("n1")], [], running
+        )
+        assert sol.migrated_jobs == []
+        assert sol.changes == 0

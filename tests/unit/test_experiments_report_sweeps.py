@@ -1,0 +1,75 @@
+"""Unit tests for reporting and sweep machinery."""
+
+import dataclasses
+
+import pytest
+
+from repro.experiments import (
+    run_scenario,
+    smoke_scenario,
+    summarize_run,
+)
+from repro.experiments.report import comparison_table, format_table
+from repro.experiments.sweeps import default_metrics, run_sweep, sweep_table
+
+
+@pytest.fixture(scope="module")
+def smoke_result():
+    return run_scenario(smoke_scenario(seed=7))
+
+
+class TestFormatTable:
+    def test_alignment_and_separator(self):
+        out = format_table(["name", "value"], [["a", 1], ["bbbb", 22]])
+        lines = out.splitlines()
+        assert lines[0].startswith("name")
+        assert set(lines[1]) <= {"-", " "}
+        assert len(lines) == 4
+
+    def test_indent(self):
+        out = format_table(["x"], [["1"]], indent="  ")
+        assert all(line.startswith("  ") for line in out.splitlines())
+
+
+class TestSummaries:
+    def test_summarize_run_mentions_key_facts(self, smoke_result):
+        text = summarize_run(smoke_result)
+        assert "control cycles" in text
+        assert "time-avg utility" in text
+        assert "jobs:" in text
+        assert "actions:" in text
+
+    def test_comparison_table_has_one_row_per_policy(self, smoke_result):
+        out = comparison_table({"a": smoke_result, "b": smoke_result})
+        lines = out.splitlines()
+        assert len(lines) == 4  # header + separator + 2 rows
+        assert "min utility" in lines[0]
+
+
+class TestSweeps:
+    def test_sweep_runs_each_grid_point(self):
+        def factory(cycle):
+            base = smoke_scenario(seed=7)
+            controller = dataclasses.replace(base.controller, control_cycle=float(cycle))
+            return base.with_controller(controller)
+
+        sweep = run_sweep("cycles", [300.0, 600.0], factory, default_metrics)
+        assert sweep.parameters() == [300.0, 600.0]
+        assert len(sweep.metric("tx_utility")) == 2
+        assert all(isinstance(v, float) for v in sweep.metric("utility_gap"))
+
+    def test_sweep_table_renders(self):
+        def factory(_):
+            return smoke_scenario(seed=7)
+
+        sweep = run_sweep("demo", [1], factory, default_metrics)
+        out = sweep_table(sweep, parameter_label="variant")
+        assert "variant" in out
+        assert "tx_utility" in out
+
+    def test_default_metrics_keys(self, smoke_result):
+        metrics = default_metrics(smoke_result)
+        assert {
+            "tx_utility", "lr_utility", "min_utility", "utility_gap",
+            "jobs_completed", "mean_tardiness", "disruptive_actions",
+        } <= set(metrics)

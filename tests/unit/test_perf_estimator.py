@@ -1,0 +1,72 @@
+"""Unit tests for demand estimators."""
+
+import pytest
+
+from repro.errors import ConfigurationError, EstimationError
+from repro.perf import EwmaEstimator, ParameterTracker
+
+
+class TestEwma:
+    def test_first_sample_seeds_estimate(self):
+        est = EwmaEstimator(alpha=0.3)
+        assert not est.primed
+        est.update(10.0)
+        assert est.value == 10.0
+        assert est.primed
+
+    def test_smoothing_formula(self):
+        est = EwmaEstimator(alpha=0.5, initial=0.0)
+        est.update(10.0)
+        assert est.value == pytest.approx(5.0)
+        est.update(10.0)
+        assert est.value == pytest.approx(7.5)
+
+    def test_alpha_one_tracks_last_sample(self):
+        est = EwmaEstimator(alpha=1.0, initial=0.0)
+        est.update(42.0)
+        assert est.value == 42.0
+
+    def test_query_before_observation_rejected(self):
+        with pytest.raises(EstimationError):
+            EwmaEstimator(alpha=0.5).value
+
+    def test_invalid_alpha_rejected(self):
+        for alpha in (0.0, 1.5, -0.1):
+            with pytest.raises(ConfigurationError):
+                EwmaEstimator(alpha=alpha)
+
+    def test_sample_count(self):
+        est = EwmaEstimator(alpha=0.5, initial=1.0)
+        est.update(2.0)
+        est.update(3.0)
+        assert est.sample_count == 3  # prior counts as one
+
+    def test_converges_to_constant_signal(self):
+        est = EwmaEstimator(alpha=0.3, initial=0.0)
+        for _ in range(60):
+            est.update(7.0)
+        assert est.value == pytest.approx(7.0, rel=1e-4)
+
+
+class TestParameterTracker:
+    def test_observe_and_get(self):
+        tracker = ParameterTracker(alpha=0.5)
+        tracker.observe("load", 100.0)
+        assert tracker.get("load") == 100.0
+        assert tracker.has("load")
+
+    def test_priors_available_without_observation(self):
+        tracker = ParameterTracker(alpha=0.5, priors={"service_cycles": 300.0})
+        assert tracker.get("service_cycles") == 300.0
+
+    def test_unknown_parameter_rejected(self):
+        tracker = ParameterTracker(alpha=0.5)
+        assert not tracker.has("ghost")
+        with pytest.raises(EstimationError):
+            tracker.get("ghost")
+
+    def test_names_sorted(self):
+        tracker = ParameterTracker(alpha=0.5)
+        tracker.observe("b", 1.0)
+        tracker.observe("a", 1.0)
+        assert tracker.names() == ["a", "b"]

@@ -1,0 +1,81 @@
+"""Validation of analytic models against request-level micro-simulation.
+
+These are the model-fidelity tests: the controller's predictions must
+agree with a faithful stochastic simulation of the same system (the VALID
+experiment of DESIGN.md).  Tolerances reflect Monte-Carlo noise at the
+chosen sample sizes.
+"""
+
+import pytest
+
+from repro.perf import (
+    ClosedTransactionalModel,
+    OpenTransactionalModel,
+    simulate_closed_interactive,
+    simulate_open_mmc,
+)
+from repro.sim import RngRegistry
+
+
+class TestOpenModelValidation:
+    @pytest.mark.parametrize("servers,lam", [(2, 10.0), (4, 30.0), (8, 70.0)])
+    def test_mean_rt_matches_erlang_c(self, servers, lam):
+        model = OpenTransactionalModel(
+            arrival_rate=lam, mean_service_cycles=300.0, request_cap_mhz=3000.0
+        )
+        allocation = servers * 3000.0
+        rng = RngRegistry(99).fresh(f"open-{servers}-{lam}")
+        sim = simulate_open_mmc(
+            rng, lam, 300.0, 3000.0, allocation,
+            num_requests=40_000, warmup_requests=4_000,
+        )
+        assert sim.mean_response_time == pytest.approx(
+            model.response_time(allocation), rel=0.08
+        )
+
+    def test_throughput_equals_arrival_rate_when_stable(self):
+        rng = RngRegistry(7).fresh("open-thru")
+        sim = simulate_open_mmc(rng, 10.0, 300.0, 3000.0, 9000.0,
+                                num_requests=30_000, warmup_requests=3_000)
+        assert sim.throughput == pytest.approx(10.0, rel=0.05)
+
+
+class TestClosedModelValidation:
+    def test_congested_regime_matches_interactive_law(self):
+        model = ClosedTransactionalModel(60.0, 0.2, 300.0, 3000.0)
+        allocation = 0.4 * model.saturation_demand  # deep congestion
+        rng = RngRegistry(11).fresh("closed-cong")
+        sim = simulate_closed_interactive(
+            rng, 60, 0.2, 300.0, 3000.0, allocation,
+            num_requests=30_000, warmup_requests=3_000,
+        )
+        assert sim.mean_response_time == pytest.approx(
+            model.response_time(allocation), rel=0.10
+        )
+        assert sim.throughput == pytest.approx(
+            model.throughput(allocation), rel=0.10
+        )
+
+    def test_uncongested_regime_near_floor(self):
+        model = ClosedTransactionalModel(20.0, 1.0, 300.0, 3000.0)
+        allocation = 3.0 * model.saturation_demand
+        rng = RngRegistry(13).fresh("closed-light")
+        sim = simulate_closed_interactive(
+            rng, 20, 1.0, 300.0, 3000.0, allocation,
+            num_requests=20_000, warmup_requests=2_000,
+        )
+        # Fluid law predicts the floor; the stochastic system queues a
+        # little around the knee, so allow one-sided slack.
+        assert sim.mean_response_time >= model.min_response_time * 0.99
+        assert sim.mean_response_time <= model.min_response_time * 1.35
+
+    def test_work_conservation_under_congestion(self):
+        # Completion rate cannot exceed allocation / mean work.
+        rng = RngRegistry(17).fresh("closed-wc")
+        allocation = 6_000.0
+        sim = simulate_closed_interactive(
+            rng, 50, 0.1, 300.0, 3000.0, allocation,
+            num_requests=20_000, warmup_requests=2_000,
+        )
+        assert sim.throughput <= allocation / 300.0 * 1.02
+        assert sim.throughput == pytest.approx(allocation / 300.0, rel=0.05)

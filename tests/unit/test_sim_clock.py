@@ -1,0 +1,33 @@
+"""Unit tests for the simulated clock."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.clock import SimClock
+
+
+class TestSimClock:
+    def test_starts_at_zero_by_default(self):
+        assert SimClock().now == 0.0
+
+    def test_starts_at_given_time(self):
+        assert SimClock(12.5).now == 12.5
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(SimulationError):
+            SimClock(-1.0)
+
+    def test_advance_moves_forward(self):
+        clock = SimClock()
+        clock.advance_to(10.0)
+        assert clock.now == 10.0
+
+    def test_advance_to_same_time_is_noop(self):
+        clock = SimClock(5.0)
+        clock.advance_to(5.0)
+        assert clock.now == 5.0
+
+    def test_advance_backwards_rejected(self):
+        clock = SimClock(5.0)
+        with pytest.raises(SimulationError):
+            clock.advance_to(4.999)

@@ -1,0 +1,85 @@
+"""Unit tests for events and the pending-event queue."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.events import EventQueue
+
+
+def noop(t):
+    pass
+
+
+class TestEventOrdering:
+    def test_pops_in_time_order(self):
+        q = EventQueue()
+        q.push(3.0, noop)
+        q.push(1.0, noop)
+        q.push(2.0, noop)
+        assert [q.pop().time for _ in range(3)] == [1.0, 2.0, 3.0]
+
+    def test_order_breaks_time_ties(self):
+        q = EventQueue()
+        late = q.push(1.0, noop, order=10)
+        early = q.push(1.0, noop, order=-10)
+        assert q.pop() is early
+        assert q.pop() is late
+
+    def test_insertion_sequence_breaks_remaining_ties(self):
+        q = EventQueue()
+        first = q.push(1.0, noop)
+        second = q.push(1.0, noop)
+        assert q.pop() is first
+        assert q.pop() is second
+
+    def test_peek_time_matches_next_pop(self):
+        q = EventQueue()
+        q.push(7.0, noop)
+        q.push(4.0, noop)
+        assert q.peek_time() == 4.0
+        assert q.pop().time == 4.0
+
+    def test_empty_queue_returns_none(self):
+        q = EventQueue()
+        assert q.peek_time() is None
+        assert q.pop() is None
+
+
+class TestCancellation:
+    def test_cancelled_event_is_skipped(self):
+        q = EventQueue()
+        victim = q.push(1.0, noop)
+        keeper = q.push(2.0, noop)
+        victim.cancel()
+        assert q.pop() is keeper
+
+    def test_cancel_is_idempotent(self):
+        q = EventQueue()
+        event = q.push(1.0, noop)
+        event.cancel()
+        event.cancel()
+        assert event.cancelled
+
+    def test_cancel_fired_event_rejected(self):
+        q = EventQueue()
+        event = q.push(1.0, noop)
+        popped = q.pop()
+        popped._fired = True
+        with pytest.raises(SimulationError):
+            event.cancel()
+
+    def test_len_counts_only_live_events(self):
+        q = EventQueue()
+        a = q.push(1.0, noop)
+        q.push(2.0, noop)
+        assert len(q) == 2
+        a.cancel()
+        q.peek_time()  # triggers lazy cleanup
+        assert len(q) == 1
+
+    def test_cancelled_head_does_not_block_peek(self):
+        q = EventQueue()
+        head = q.push(1.0, noop)
+        q.push(5.0, noop)
+        head.cancel()
+        assert q.peek_time() == 5.0

@@ -1,0 +1,106 @@
+"""Unit tests for time-series recording."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.recorder import Recorder, Series
+
+
+class TestSeries:
+    def test_append_and_arrays(self):
+        s = Series("x")
+        s.append(0.0, 1.0)
+        s.append(10.0, 2.0)
+        assert np.array_equal(s.times, [0.0, 10.0])
+        assert np.array_equal(s.values, [1.0, 2.0])
+
+    def test_same_time_overwrites_last_sample(self):
+        s = Series("x")
+        s.append(5.0, 1.0)
+        s.append(5.0, 9.0)
+        assert len(s) == 1
+        assert s.values[0] == 9.0
+
+    def test_time_going_backwards_rejected(self):
+        s = Series("x")
+        s.append(5.0, 1.0)
+        with pytest.raises(SimulationError):
+            s.append(4.0, 2.0)
+
+    def test_value_at_step_semantics(self):
+        s = Series("x")
+        s.append(0.0, 1.0)
+        s.append(10.0, 2.0)
+        assert s.value_at(0.0) == 1.0
+        assert s.value_at(9.999) == 1.0
+        assert s.value_at(10.0) == 2.0
+        assert s.value_at(1e9) == 2.0
+
+    def test_value_at_before_first_sample_rejected(self):
+        s = Series("x")
+        s.append(5.0, 1.0)
+        with pytest.raises(SimulationError):
+            s.value_at(4.9)
+
+    def test_value_at_empty_rejected(self):
+        with pytest.raises(SimulationError):
+            Series("x").value_at(0.0)
+
+    def test_resample_on_grid(self):
+        s = Series("x")
+        s.append(0.0, 1.0)
+        s.append(10.0, 2.0)
+        out = s.resample(np.array([0.0, 5.0, 10.0, 15.0]))
+        assert np.array_equal(out, [1.0, 1.0, 2.0, 2.0])
+
+    def test_resample_before_first_sample_rejected(self):
+        s = Series("x")
+        s.append(5.0, 1.0)
+        with pytest.raises(SimulationError):
+            s.resample(np.array([0.0]))
+
+    def test_time_average_exact_for_step_function(self):
+        s = Series("x")
+        s.append(0.0, 1.0)
+        s.append(10.0, 3.0)
+        # [0,10): 1.0, [10,20): 3.0 -> average over [0,20] is 2.0
+        assert s.time_average(0.0, 20.0) == pytest.approx(2.0)
+
+    def test_time_average_partial_window(self):
+        s = Series("x")
+        s.append(0.0, 2.0)
+        s.append(10.0, 4.0)
+        assert s.time_average(5.0, 15.0) == pytest.approx(3.0)
+
+    def test_time_average_empty_window_rejected(self):
+        s = Series("x")
+        s.append(0.0, 1.0)
+        with pytest.raises(SimulationError):
+            s.time_average(5.0, 5.0)
+
+
+class TestRecorder:
+    def test_record_autocreates_series(self):
+        rec = Recorder()
+        rec.record("u", 0.0, 1.0)
+        assert rec.has_series("u")
+        assert rec.series("u").values[0] == 1.0
+
+    def test_unknown_series_raises_keyerror(self):
+        with pytest.raises(KeyError):
+            Recorder().series("nope")
+
+    def test_series_names_sorted(self):
+        rec = Recorder()
+        rec.record("b", 0.0, 1.0)
+        rec.record("a", 0.0, 1.0)
+        assert rec.series_names() == ["a", "b"]
+
+    def test_counters(self):
+        rec = Recorder()
+        rec.bump("done")
+        rec.bump("done", 2.0)
+        assert rec.counter("done") == 3.0
+        assert rec.counter("never") == 0.0
+        assert rec.counters == {"done": 3.0}

@@ -1,0 +1,50 @@
+"""Unit tests for the utility-function framework."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.utility import LinearUtility, relative_slack
+
+
+class TestRelativeSlack:
+    def test_on_goal_is_zero(self):
+        assert relative_slack(10.0, 10.0) == 0.0
+
+    def test_instant_is_one(self):
+        assert relative_slack(10.0, 0.0) == 1.0
+
+    def test_late_is_negative(self):
+        assert relative_slack(10.0, 25.0) == pytest.approx(-1.5)
+
+    def test_infinite_achieved_is_minus_inf(self):
+        assert relative_slack(10.0, math.inf) == -math.inf
+
+    def test_nonpositive_goal_rejected(self):
+        with pytest.raises(ConfigurationError):
+            relative_slack(0.0, 1.0)
+
+
+class TestLinearUtility:
+    def test_identity_inside_bounds(self):
+        u = LinearUtility()
+        assert u(0.3) == 0.3
+        assert u(-2.0) == -2.0
+
+    def test_ceiling_clips(self):
+        assert LinearUtility()(5.0) == 1.0
+
+    def test_floor_clips(self):
+        u = LinearUtility(floor=-1.0)
+        assert u(-7.0) == -1.0
+
+    def test_inverse_round_trip(self):
+        u = LinearUtility(floor=-1.0)
+        assert u.inverse(0.4) == 0.4
+        with pytest.raises(ConfigurationError):
+            u.inverse(1.0)  # at the ceiling: not invertible
+
+    def test_ceiling_must_exceed_floor(self):
+        with pytest.raises(ConfigurationError):
+            LinearUtility(floor=1.0, ceiling=1.0)

@@ -1,0 +1,72 @@
+"""Unit tests for alternative utility shapes."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.utility import PiecewiseLinearUtility, SigmoidUtility, StepUtility
+
+
+class TestSigmoid:
+    def test_midpoint_value(self):
+        u = SigmoidUtility(midpoint=0.0, lo=-1.0, hi=1.0)
+        assert u(0.0) == pytest.approx(0.0)
+
+    def test_saturates_at_extremes(self):
+        u = SigmoidUtility()
+        assert u(50.0) == pytest.approx(1.0, abs=1e-6)
+        assert u(-50.0) == pytest.approx(-1.0, abs=1e-6)
+        assert u(-math.inf) == -1.0
+        assert u(math.inf) == 1.0
+
+    def test_monotone(self):
+        u = SigmoidUtility()
+        xs = [-2.0, -1.0, 0.0, 0.5, 1.0]
+        ys = [u(x) for x in xs]
+        assert ys == sorted(ys)
+
+    def test_extreme_negative_slack_no_overflow(self):
+        assert SigmoidUtility(steepness=100.0)(-1e4) == -1.0
+
+    def test_invalid_params(self):
+        with pytest.raises(ConfigurationError):
+            SigmoidUtility(steepness=0.0)
+        with pytest.raises(ConfigurationError):
+            SigmoidUtility(lo=1.0, hi=0.0)
+
+
+class TestStep:
+    def test_threshold_behaviour(self):
+        u = StepUtility(threshold=0.0, lo=0.0, hi=1.0)
+        assert u(0.0) == 1.0
+        assert u(-1e-9) == 0.0
+        assert u(0.5) == 1.0
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ConfigurationError):
+            StepUtility(lo=1.0, hi=1.0)
+
+
+class TestPiecewiseLinear:
+    def test_interpolates_between_knots(self):
+        u = PiecewiseLinearUtility([(-1.0, -1.0), (0.0, 0.0), (1.0, 1.0)])
+        assert u(-0.5) == pytest.approx(-0.5)
+        assert u(0.25) == pytest.approx(0.25)
+
+    def test_flat_extrapolation(self):
+        u = PiecewiseLinearUtility([(0.0, 0.0), (1.0, 1.0)])
+        assert u(-10.0) == 0.0
+        assert u(10.0) == 1.0
+
+    def test_knots_must_increase(self):
+        with pytest.raises(ConfigurationError):
+            PiecewiseLinearUtility([(1.0, 0.0), (0.0, 1.0)])
+
+    def test_utilities_must_be_monotone(self):
+        with pytest.raises(ConfigurationError):
+            PiecewiseLinearUtility([(0.0, 1.0), (1.0, 0.0)])
+
+    def test_needs_two_knots(self):
+        with pytest.raises(ConfigurationError):
+            PiecewiseLinearUtility([(0.0, 0.0)])

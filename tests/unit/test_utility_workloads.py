@@ -1,0 +1,115 @@
+"""Unit tests for workload-specific utility mappings."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.perf import ClosedTransactionalModel
+from repro.utility import (
+    JobUtility,
+    LinearUtility,
+    SigmoidUtility,
+    TransactionalUtility,
+    mean_achieved_utility,
+    slacks_to_utilities,
+)
+
+from ..conftest import make_job, make_job_spec
+
+
+class TestTransactionalUtility:
+    def model(self):
+        return ClosedTransactionalModel(210.0, 0.2, 300.0, 3000.0)
+
+    def test_goal_relative_utility(self):
+        u = TransactionalUtility(rt_goal=0.4)
+        assert u.of_response_time(0.4) == 0.0
+        assert u.of_response_time(0.1) == pytest.approx(0.75)
+        assert u.of_response_time(0.8) == pytest.approx(-1.0)
+
+    def test_of_allocation_uses_model(self):
+        u = TransactionalUtility(0.4)
+        # At 105 GHz the closed model gives RT = 0.4 -> utility 0.
+        assert u.of_allocation(self.model(), 105_000.0) == pytest.approx(0.0)
+
+    def test_max_utility_is_plateau(self):
+        u = TransactionalUtility(0.4)
+        assert u.max_utility(self.model()) == pytest.approx(0.75)
+
+    def test_allocation_for_utility_round_trip(self):
+        u = TransactionalUtility(0.4)
+        model = self.model()
+        alloc = u.allocation_for_utility(model, 0.5)
+        assert u.of_allocation(model, alloc) == pytest.approx(0.5, abs=1e-6)
+
+    def test_allocation_for_utility_above_plateau_returns_demand(self):
+        u = TransactionalUtility(0.4)
+        model = self.model()
+        assert u.allocation_for_utility(model, 0.99) == pytest.approx(
+            model.max_utility_demand()
+        )
+
+    def test_allocation_for_utility_requires_linear_shape(self):
+        u = TransactionalUtility(0.4, shape=SigmoidUtility())
+        with pytest.raises(ConfigurationError):
+            u.allocation_for_utility(self.model(), 0.1)
+
+    def test_invalid_goal_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TransactionalUtility(0.0)
+
+
+class TestJobUtility:
+    def test_of_completion_relative_to_goal(self):
+        spec = make_job_spec(submit=100.0, goal=4000.0)
+        u = JobUtility()
+        assert u.of_completion(spec, 4100.0) == 0.0
+        assert u.of_completion(spec, 100.0) == 1.0
+        assert u.of_completion(spec, 8100.0) == pytest.approx(-1.0)
+
+    def test_infinite_completion_hits_shape_floor(self):
+        spec = make_job_spec()
+        u = JobUtility(shape=LinearUtility(floor=-1.0))
+        assert u.of_completion(spec, math.inf) == -1.0
+
+    def test_achieved_requires_completion(self):
+        job = make_job()
+        with pytest.raises(ConfigurationError):
+            JobUtility().achieved(job)
+
+    def test_achieved_value(self):
+        job = make_job(work=3_000_000.0, goal=4000.0)
+        job.start(0.0, "n0", 3000.0)
+        job.advance_to(1000.0)
+        job.complete(1000.0)
+        assert JobUtility().achieved(job) == pytest.approx(0.75)
+
+
+class TestAggregation:
+    def test_slacks_to_utilities_linear_fast_path(self):
+        shape = LinearUtility(floor=-1.0)
+        out = slacks_to_utilities(shape, np.array([-5.0, 0.3, 2.0]))
+        assert np.allclose(out, [-1.0, 0.3, 1.0])
+
+    def test_slacks_to_utilities_generic_shape(self):
+        shape = SigmoidUtility()
+        out = slacks_to_utilities(shape, np.array([0.0]))
+        assert out[0] == pytest.approx(0.0)
+
+    def test_mean_achieved_weighted(self):
+        fast = make_job(job_id="fast", work=3_000_000.0, goal=4000.0, importance=3.0)
+        fast.start(0.0, "n0", 3000.0)
+        fast.advance_to(1000.0)
+        fast.complete(1000.0)  # utility 0.75
+        slow = make_job(job_id="slow", work=3_000_000.0, goal=4000.0, importance=1.0)
+        slow.start(0.0, "n1", 750.0)
+        slow.advance_to(4000.0)
+        slow.complete(4000.0)  # utility 0.0
+        mean = mean_achieved_utility(JobUtility(), [fast, slow])
+        assert mean == pytest.approx((3 * 0.75 + 0.0) / 4)
+
+    def test_mean_achieved_requires_completed_jobs(self):
+        with pytest.raises(ConfigurationError):
+            mean_achieved_utility(JobUtility(), [make_job()])

@@ -1,0 +1,75 @@
+"""Unit tests for arrival-process generation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workloads import (
+    ConstantProfile,
+    StepProfile,
+    exponential_arrival_times,
+    nhpp_arrival_times,
+    piecewise_exponential_arrival_times,
+)
+
+
+class TestExponentialArrivals:
+    def test_count_and_monotonicity(self, rng):
+        times = exponential_arrival_times(rng, 10.0, 500)
+        assert len(times) == 500
+        assert np.all(np.diff(times) > 0)
+
+    def test_mean_interarrival(self, rng):
+        times = exponential_arrival_times(rng, 10.0, 20_000)
+        gaps = np.diff(np.concatenate(([0.0], times)))
+        assert gaps.mean() == pytest.approx(10.0, rel=0.05)
+
+    def test_start_offset(self, rng):
+        times = exponential_arrival_times(rng, 1.0, 10, start=100.0)
+        assert times[0] > 100.0
+
+    def test_invalid_mean_rejected(self, rng):
+        with pytest.raises(ConfigurationError):
+            exponential_arrival_times(rng, 0.0, 10)
+
+
+class TestPiecewiseExponential:
+    def test_rate_change_reflected_in_gaps(self, rng):
+        times = piecewise_exponential_arrival_times(
+            rng, phases=[(0.0, 10.0), (10_000.0, 40.0)], count=3000
+        )
+        gaps = np.diff(np.concatenate(([0.0], times)))
+        early = gaps[times < 10_000.0]
+        late = gaps[times >= 12_000.0]
+        assert early.mean() == pytest.approx(10.0, rel=0.15)
+        assert late.mean() == pytest.approx(40.0, rel=0.15)
+
+    def test_phases_must_increase(self, rng):
+        with pytest.raises(ConfigurationError):
+            piecewise_exponential_arrival_times(
+                rng, phases=[(10.0, 1.0), (5.0, 2.0)], count=5
+            )
+
+    def test_first_phase_must_cover_start(self, rng):
+        with pytest.raises(ConfigurationError):
+            piecewise_exponential_arrival_times(
+                rng, phases=[(100.0, 1.0)], count=5, start=0.0
+            )
+
+
+class TestNhppArrivals:
+    def test_rate_matches_profile(self, rng):
+        profile = StepProfile([(0.0, 2.0), (500.0, 8.0)])
+        times = nhpp_arrival_times(rng, profile, 0.0, 1000.0)
+        early = np.sum(times < 500.0)
+        late = np.sum(times >= 500.0)
+        assert early == pytest.approx(1000, rel=0.2)
+        assert late == pytest.approx(4000, rel=0.2)
+
+    def test_zero_rate_produces_nothing(self, rng):
+        times = nhpp_arrival_times(rng, ConstantProfile(0.0), 0.0, 100.0)
+        assert len(times) == 0
+
+    def test_all_times_inside_window(self, rng):
+        times = nhpp_arrival_times(rng, ConstantProfile(5.0), 50.0, 150.0)
+        assert np.all((times >= 50.0) & (times < 150.0))

@@ -1,0 +1,97 @@
+"""Unit tests for intensity profiles."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workloads import ConstantProfile, DiurnalProfile, NoisyProfile, StepProfile
+
+
+class TestConstantProfile:
+    def test_rate_everywhere(self):
+        p = ConstantProfile(5.0)
+        assert p.rate(0.0) == 5.0
+        assert p.rate(1e9) == 5.0
+        assert p.max_rate(0.0, 100.0) == 5.0
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ConstantProfile(-1.0)
+
+
+class TestStepProfile:
+    def test_steps_apply_from_their_start(self):
+        p = StepProfile([(0.0, 1.0), (10.0, 5.0), (20.0, 2.0)])
+        assert p.rate(0.0) == 1.0
+        assert p.rate(9.999) == 1.0
+        assert p.rate(10.0) == 5.0
+        assert p.rate(25.0) == 2.0
+
+    def test_max_rate_covers_window(self):
+        p = StepProfile([(0.0, 1.0), (10.0, 5.0), (20.0, 2.0)])
+        assert p.max_rate(0.0, 9.0) == 1.0
+        assert p.max_rate(5.0, 15.0) == 5.0
+        assert p.max_rate(0.0, 100.0) == 5.0
+
+    def test_unsorted_steps_rejected(self):
+        with pytest.raises(ConfigurationError):
+            StepProfile([(10.0, 1.0), (0.0, 2.0)])
+
+    def test_must_cover_time_zero(self):
+        with pytest.raises(ConfigurationError):
+            StepProfile([(5.0, 1.0)])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            StepProfile([])
+
+
+class TestDiurnalProfile:
+    def test_oscillates_around_base(self):
+        p = DiurnalProfile(base=10.0, amplitude=5.0, period=100.0)
+        assert p.rate(25.0) == pytest.approx(15.0)  # peak at quarter period
+        assert p.rate(75.0) == pytest.approx(5.0)
+        assert p.rate(0.0) == pytest.approx(10.0)
+
+    def test_clamped_at_zero(self):
+        p = DiurnalProfile(base=1.0, amplitude=5.0, period=100.0)
+        assert p.rate(75.0) == 0.0
+
+    def test_max_rate_long_window_is_peak(self):
+        p = DiurnalProfile(base=10.0, amplitude=5.0, period=100.0)
+        assert p.max_rate(0.0, 1000.0) == pytest.approx(15.0)
+
+    def test_max_rate_is_upper_bound_on_short_windows(self):
+        p = DiurnalProfile(base=10.0, amplitude=5.0, period=100.0, phase=13.0)
+        for (a, b) in [(0.0, 10.0), (30.0, 60.0), (80.0, 95.0)]:
+            bound = p.max_rate(a, b)
+            samples = [p.rate(a + (b - a) * i / 50) for i in range(51)]
+            assert all(s <= bound + 1e-9 for s in samples)
+
+
+class TestNoisyProfile:
+    def test_deterministic_per_window(self):
+        p = NoisyProfile(ConstantProfile(10.0), rel_std=0.2, interval=100.0, seed=5)
+        assert p.rate(50.0) == p.rate(99.0)  # same window
+        q = NoisyProfile(ConstantProfile(10.0), rel_std=0.2, interval=100.0, seed=5)
+        assert p.rate(550.0) == q.rate(550.0)  # rebuilt profile agrees
+
+    def test_query_order_does_not_matter(self):
+        p = NoisyProfile(ConstantProfile(10.0), rel_std=0.2, interval=100.0, seed=5)
+        late_first = p.rate(950.0)
+        q = NoisyProfile(ConstantProfile(10.0), rel_std=0.2, interval=100.0, seed=5)
+        q.rate(50.0)  # consume an earlier window first
+        assert q.rate(950.0) == late_first
+
+    def test_mean_factor_near_one(self):
+        p = NoisyProfile(ConstantProfile(10.0), rel_std=0.1, interval=1.0, seed=5)
+        samples = [p.rate(float(i)) for i in range(2000)]
+        assert sum(samples) / len(samples) == pytest.approx(10.0, rel=0.02)
+
+    def test_max_rate_bounds_noise(self):
+        p = NoisyProfile(ConstantProfile(10.0), rel_std=1.0, interval=1.0, seed=5)
+        bound = p.max_rate(0.0, 500.0)
+        assert all(p.rate(float(i)) <= bound for i in range(500))
+
+    def test_negative_rel_std_rejected(self):
+        with pytest.raises(ConfigurationError):
+            NoisyProfile(ConstantProfile(1.0), rel_std=-0.1, interval=1.0, seed=0)

@@ -1,0 +1,95 @@
+"""Unit tests for synthetic workload trace generation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workloads import (
+    PAPER_JOB_TEMPLATE,
+    JobTemplate,
+    differentiated_job_trace,
+    paper_job_trace,
+    uniform_job_trace,
+)
+
+
+class TestJobTemplate:
+    def test_goal_derived_from_factor(self):
+        template = JobTemplate(3_000_000.0, 3000.0, 1200.0, goal_factor=4.0)
+        assert template.completion_goal == pytest.approx(4000.0)
+
+    def test_goal_factor_must_exceed_one(self):
+        with pytest.raises(ConfigurationError):
+            JobTemplate(1.0, 1.0, 1.0, goal_factor=1.0)
+
+    def test_make_spec_stamps_identity(self):
+        spec = PAPER_JOB_TEMPLATE.make_spec("jobX", 123.0)
+        assert spec.job_id == "jobX"
+        assert spec.submit_time == 123.0
+        assert spec.total_work == PAPER_JOB_TEMPLATE.total_work
+
+    def test_paper_template_matches_memory_constraint(self):
+        # "only three jobs will fit on a node" with 4000 MB nodes
+        assert 3 * PAPER_JOB_TEMPLATE.memory_mb <= 4000.0
+        assert 4 * PAPER_JOB_TEMPLATE.memory_mb > 4000.0
+
+    def test_paper_template_single_processor_cap(self):
+        assert PAPER_JOB_TEMPLATE.speed_cap_mhz == 3000.0
+
+
+class TestPaperTrace:
+    def test_count_and_initial_jobs(self, rng):
+        specs = paper_job_trace(rng, count=100, initial_jobs=3)
+        assert len(specs) == 100
+        assert sum(1 for s in specs if s.submit_time == 0.0) == 3
+
+    def test_ids_unique_and_ordered(self, rng):
+        specs = paper_job_trace(rng, count=50)
+        ids = [s.job_id for s in specs]
+        assert len(set(ids)) == 50
+        submits = [s.submit_time for s in specs]
+        assert submits == sorted(submits)
+
+    def test_rate_drop_slows_arrivals(self, rng):
+        specs = paper_job_trace(
+            rng, count=800, mean_interarrival=100.0,
+            rate_drop_time=40_000.0, rate_drop_ratio=4.0,
+        )
+        times = np.array([s.submit_time for s in specs])
+        gaps = np.diff(times[times > 0])
+        early = gaps[times[times > 0][1:] < 40_000.0]
+        late = gaps[(times[times > 0][1:] > 42_000.0)][:50]
+        assert late.mean() > 2.0 * early.mean()
+
+    def test_identical_jobs(self, rng):
+        specs = paper_job_trace(rng, count=10)
+        works = {s.total_work for s in specs}
+        assert len(works) == 1
+
+    def test_invalid_initial_jobs_rejected(self, rng):
+        with pytest.raises(ConfigurationError):
+            paper_job_trace(rng, count=5, initial_jobs=6)
+
+
+class TestOtherTraces:
+    def test_uniform_trace(self, rng):
+        template = JobTemplate(1000.0, 100.0, 64.0, 2.0)
+        specs = uniform_job_trace(rng, template, 20, 10.0, id_prefix="t")
+        assert len(specs) == 20
+        assert all(s.job_id.startswith("t") for s in specs)
+
+    def test_differentiated_classes_present(self, rng):
+        gold = JobTemplate(1000.0, 100.0, 64.0, 2.0, job_class="gold")
+        silver = JobTemplate(1000.0, 100.0, 64.0, 8.0, job_class="silver")
+        specs = differentiated_job_trace(
+            rng, [(gold, 0.5), (silver, 0.5)], count=200, mean_interarrival=1.0
+        )
+        classes = {s.job_class for s in specs}
+        assert classes == {"gold", "silver"}
+        gold_count = sum(1 for s in specs if s.job_class == "gold")
+        assert 60 <= gold_count <= 140  # roughly balanced
+
+    def test_differentiated_probabilities_validated(self, rng):
+        gold = JobTemplate(1000.0, 100.0, 64.0, 2.0)
+        with pytest.raises(ConfigurationError):
+            differentiated_job_trace(rng, [(gold, 0.7)], count=5, mean_interarrival=1.0)
