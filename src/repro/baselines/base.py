@@ -26,7 +26,7 @@ from ..core.hypothetical import (
     longrunning_max_utility_demand,
 )
 from ..core.job_scheduler import JobRequest
-from ..core.placement_solver import PlacementSolution
+from ..core.placement_solver import PlacementSolution, PlacementSolver
 from ..perf.jobmodel import snapshot_jobs
 from ..types import Mhz, Seconds
 from ..workloads.jobs import Job
@@ -39,10 +39,20 @@ class BaselinePolicy(UtilityDrivenController):
     :class:`~repro.core.placement_solver.PlacementSolution` from the
     current state; this class wraps it into a full decision with actions
     and diagnostics.
+
+    Baselines always run on the *greedy* placement solver regardless of
+    ``SolverConfig.backend``: their disciplines are defined in terms of
+    the greedy's ordered phases (FCFS/EDF ride its submit-time
+    tie-break, static partitioning its per-partition water-fill).  An
+    optimizing backend would silently change what the baseline's label
+    means, corrupting comparisons.
     """
 
     #: Subclass-provided policy name (reports and comparison tables).
     policy_name = "baseline"
+
+    def _build_solver(self) -> PlacementSolver:
+        return PlacementSolver(self.config.solver)
 
     def decide(
         self,

@@ -17,11 +17,31 @@ from .types import Mhz, Seconds
 
 @dataclass(frozen=True)
 class SolverConfig:
-    """Tunables of the placement solver
-    (:class:`repro.core.placement_solver.PlacementSolver`).
+    """Tunables of the placement solver.
+
+    The ``backend`` field selects the solver implementation through the
+    backend registry (:mod:`repro.core.backends`): ``"greedy"`` is the
+    paper's fast incremental heuristic
+    (:class:`repro.core.placement_solver.PlacementSolver`), ``"milp"``
+    the optimal mixed-integer formulation
+    (:class:`repro.core.milp_solver.MilpPlacementSolver`) used as a
+    correctness oracle and optimality-gap reference.  Third-party
+    backends registered via
+    :func:`repro.core.backends.register_backend` are selected the same
+    way.
 
     Attributes
     ----------
+    backend:
+        Name of the registered solver backend (``"greedy"`` |
+        ``"milp"`` | any registered name).  Unknown names fail at solver
+        construction, not here, so configs can be built before custom
+        backends are registered.
+    change_penalty_mhz:
+        MILP objective penalty (MHz) per disruptive placement change;
+        keeps the optimal backend from churning placements for
+        negligible demand gains.  Ignored by the greedy backend, which
+        bounds churn structurally (budget/eviction/migration caps).
     min_job_rate:
         Jobs whose equalized target is below this (MHz) are not *admitted*
         (running jobs are never stopped for having a low target; eviction
@@ -30,6 +50,8 @@ class SolverConfig:
         Maximum disruptive actions per cycle (``None`` = unlimited).
     eviction_margin:
         Relative urgency advantage a waiting job needs to evict.
+        Greedy-only ordering heuristic: the MILP backend subsumes it
+        with ``change_penalty_mhz`` and ``max_evictions``.
     max_evictions:
         Cap on evictions per cycle (suspension churn bound; each eviction
         costs a suspend now and a resume later).
@@ -37,18 +59,25 @@ class SolverConfig:
         Running jobs that could finish within this many seconds at full
         speed are never evicted (a suspend/resume round trip costs more
         than letting them run out; also prevents lockstep starvation
-        under deep overload).
+        under deep overload).  Honoured by both backends: the MILP
+        forces protected jobs to remain placed (migration still
+        allowed).
     migration_deficit:
         A running job allocated below ``migration_deficit * target``
-        becomes a migration candidate.
+        becomes a migration candidate.  Greedy-only ordering heuristic;
+        the MILP weighs every move through the objective instead, but
+        still caps moves at ``max_migrations``.
     max_migrations:
         Cap on rebalancing migrations per cycle.
     stop_idle_instances:
         Whether web instances granted no CPU are stopped (down to
-        ``min_instances``).
+        ``min_instances``).  Honoured by both backends: when False, the
+        MILP pins every running instance in place.
     web_start_threshold:
         Unplaced fraction of an app's target below which no new instance
-        is started (avoids churning instances for slivers).
+        is started (avoids churning instances for slivers).  Greedy-only
+        heuristic; the MILP prices instance starts through
+        ``change_penalty_mhz`` instead.
     """
 
     min_job_rate: Mhz = 150.0
@@ -60,8 +89,16 @@ class SolverConfig:
     max_migrations: int = 4
     stop_idle_instances: bool = True
     web_start_threshold: float = 0.02
+    # New fields append after the seed ones so positional construction
+    # of this public frozen dataclass keeps working.
+    backend: str = "greedy"
+    change_penalty_mhz: Mhz = 1.0
 
     def __post_init__(self) -> None:
+        if not self.backend or not isinstance(self.backend, str):
+            raise ConfigurationError("backend must be a non-empty string")
+        if self.change_penalty_mhz < 0:
+            raise ConfigurationError("change_penalty_mhz must be non-negative")
         if self.min_job_rate < 0:
             raise ConfigurationError("min_job_rate must be non-negative")
         if self.change_budget is not None and self.change_budget < 0:
@@ -105,7 +142,9 @@ class ControllerConfig:
     estimator_alpha:
         EWMA smoothing factor for the demand estimators.
     solver:
-        Placement-solver tunables (:class:`~repro.core.placement_solver.SolverConfig`).
+        Placement-solver tunables (:class:`SolverConfig`), including the
+        ``backend`` name that picks the solver implementation from
+        :mod:`repro.core.backends` (greedy heuristic vs optimal MILP).
     """
 
     control_cycle: Seconds = 600.0

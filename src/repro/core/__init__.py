@@ -3,9 +3,25 @@
 Hypothetical-utility equalization over the job population, cross-workload
 CPU arbitration, the incremental memory-constrained placement solver, and
 the control loop tying them together.
+
+Placement solving is pluggable: ``SolverConfig(backend=...)`` selects an
+implementation from the backend registry (:mod:`repro.core.backends`) --
+``"greedy"`` for the paper's fast incremental heuristic
+(:class:`PlacementSolver`), ``"milp"`` for the optimal mixed-integer
+oracle (:class:`MilpPlacementSolver`) used in differential testing and
+optimality-gap measurement.  Custom formulations plug in through
+:func:`register_backend`.
 """
 
 from .actions_planner import plan_actions
+from .backends import (
+    SolverBackend,
+    available_backends,
+    get_backend,
+    make_solver,
+    register_backend,
+)
+from .milp_solver import MilpPlacementSolver
 from .arbiter import Arbiter, ArbiterResult, BisectionArbiter, StealingArbiter, make_arbiter
 from .controller import ControlDecision, ControlDiagnostics, UtilityDrivenController
 from .demand import (
@@ -60,8 +76,14 @@ __all__ = [
     "LongRunningCurve",
     "effective_capacity",
     "PlacementSolver",
+    "MilpPlacementSolver",
     "PlacementSolution",
+    "SolverBackend",
     "SolverConfig",
+    "available_backends",
+    "get_backend",
+    "make_solver",
+    "register_backend",
     "water_fill",
     "placement_efficiency",
     "RelaxationBound",

@@ -52,8 +52,9 @@ from .hypothetical import (
     equalize_hypothetical_utility,
     longrunning_max_utility_demand,
 )
+from .backends import make_solver
 from .job_scheduler import AppRequest, JobRequest
-from .placement_solver import PlacementSolution, PlacementSolver
+from .placement_solver import PlacementSolution
 
 
 @dataclass(frozen=True)
@@ -125,7 +126,17 @@ class UtilityDrivenController:
             for spec in app_specs
         }
         self._arbiter = make_arbiter(self.config.arbiter)
-        self._solver = PlacementSolver(self.config.solver)
+        self._solver = self._build_solver()
+
+    def _build_solver(self):
+        """The placement solver this controller runs on.
+
+        Selected by name from the backend registry (greedy heuristic,
+        optimal MILP, or any registered third-party formulation); see
+        :mod:`repro.core.backends`.  Overridden by policies whose
+        semantics are tied to one specific solver.
+        """
+        return make_solver(self.config.solver)
 
     # ------------------------------------------------------------------
     # Observation feed

@@ -1,0 +1,1 @@
+"""Test suite package (required so test modules can use relative imports)."""

@@ -1,0 +1,142 @@
+"""Shared invariant checkers for placement-solver tests.
+
+Every placement backend (greedy heuristic, optimal MILP, future
+registrants) must satisfy the same feasibility contract; the checks live
+here once so unit, property and differential tests all assert the exact
+same thing.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.cluster import Cluster, NodeSpec
+from repro.core import AppRequest, JobRequest, PlacementSolution
+from repro.types import WorkloadKind
+
+
+def assert_solution_feasible(
+    solution: PlacementSolution,
+    nodes: Sequence[NodeSpec],
+    *,
+    jobs: Sequence[JobRequest] = (),
+    apps: Sequence[AppRequest] = (),
+    budget: Optional[int] = None,
+) -> None:
+    """Assert the full feasibility contract of a placement solution.
+
+    Checks, in order:
+
+    * no node over CPU or memory capacity (``Placement.validate``);
+    * every granted job has exactly one placement entry, every placed
+      job VM has a grant, and grants respect per-job speed caps;
+    * per-app allocations equal the sum of that app's instance grants;
+    * ``changes`` is consistent with the admission count and the
+      ``evicted_jobs`` / ``migrated_jobs`` / ``started_instances`` /
+      ``stopped_instances`` lists (evictions cost a suspend plus the
+      admission already counted for the replacement);
+    * ``changes`` within ``budget`` when one is given.
+
+    ``jobs``/``apps`` are the solver's request inputs; passing them
+    enables the cap, admission and app-consistency checks.
+    """
+    active = {n.node_id for n in nodes}
+    solution.placement.validate(Cluster(nodes))
+
+    requests = {r.vm_id: r for r in jobs}
+    job_entries = {}
+    for entry in solution.placement:
+        if entry.kind is WorkloadKind.LONG_RUNNING:
+            assert entry.vm_id not in job_entries, (
+                f"job VM {entry.vm_id} placed twice"
+            )
+            job_entries[entry.vm_id] = entry
+            if entry.vm_id in requests:
+                cap = requests[entry.vm_id].speed_cap
+                assert entry.cpu_mhz <= cap * (1 + 1e-6) + 1e-6, (
+                    f"{entry.vm_id}: grant {entry.cpu_mhz} exceeds cap {cap}"
+                )
+
+    if jobs:
+        vm_by_job = {r.job_id: r.vm_id for r in jobs}
+        for job_id, rate in solution.job_rates.items():
+            assert job_id in vm_by_job, (
+                f"solver granted job {job_id!r} it was not asked about"
+            )
+            entry = job_entries.get(vm_by_job[job_id])
+            assert entry is not None, f"granted job {job_id} has no entry"
+            assert abs(entry.cpu_mhz - rate) <= 1e-6, (
+                f"{job_id}: rate {rate} != entry grant {entry.cpu_mhz}"
+            )
+        placed_job_vms = {
+            vm for vm in job_entries if vm in requests
+        }
+        assert placed_job_vms == {
+            vm_by_job[j] for j in solution.job_rates
+        }, "placement entries and job_rates disagree on which jobs run"
+
+    for app in apps:
+        entries = [
+            e
+            for e in solution.placement
+            if e.kind is WorkloadKind.TRANSACTIONAL
+            and e.vm_id.startswith(f"tx:{app.app_id}@")
+        ]
+        total = sum(e.cpu_mhz for e in entries)
+        granted = solution.app_allocations.get(app.app_id, 0.0)
+        assert abs(total - granted) <= 1e-6 * max(1.0, total), (
+            f"app {app.app_id}: allocation {granted} != entry sum {total}"
+        )
+        assert granted <= app.target_allocation * (1 + 1e-6) + 1e-6, (
+            f"app {app.app_id}: granted {granted} above target "
+            f"{app.target_allocation}"
+        )
+
+    # A job cannot be simultaneously granted and evicted/unplaced.
+    for job_id in solution.evicted_jobs + solution.unplaced_jobs:
+        assert job_id not in solution.job_rates, (
+            f"job {job_id} both granted and evicted/unplaced"
+        )
+
+    if jobs:
+        placement_node = {
+            r.job_id: job_entries[r.vm_id].node_id
+            for r in jobs
+            if r.vm_id in job_entries
+        }
+        admitted = sum(
+            1
+            for r in jobs
+            if r.job_id in placement_node
+            and (r.current_node is None or r.current_node not in active)
+        )
+        expected = (
+            admitted
+            + len(solution.evicted_jobs)
+            + len(solution.migrated_jobs)
+            + len(solution.started_instances)
+            + len(solution.stopped_instances)
+        )
+        assert solution.changes == expected, (
+            f"changes={solution.changes} but admissions({admitted}) + "
+            f"evictions({len(solution.evicted_jobs)}) + "
+            f"migrations({len(solution.migrated_jobs)}) + "
+            f"instance starts({len(solution.started_instances)}) + "
+            f"stops({len(solution.stopped_instances)}) = {expected}"
+        )
+        for job_id in solution.migrated_jobs:
+            request = next(r for r in jobs if r.job_id == job_id)
+            assert request.current_node in active
+            assert placement_node[job_id] != request.current_node, (
+                f"{job_id} listed as migrated but kept its node"
+            )
+
+    if budget is not None:
+        assert solution.changes <= budget, (
+            f"changes {solution.changes} exceed budget {budget}"
+        )
+
+
+def solution_objective(solution: PlacementSolution) -> float:
+    """The demand a solution satisfies (MHz) -- the differential metric."""
+    return solution.satisfied_lr_demand + solution.satisfied_tx_demand

@@ -8,9 +8,11 @@ at most once, and the change budget honoured.
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.cluster import Cluster, NodeSpec
+from repro.cluster import NodeSpec
 from repro.config import SolverConfig
 from repro.core import AppRequest, JobRequest, PlacementSolver
+
+from ..helpers import assert_solution_feasible
 
 
 @st.composite
@@ -82,19 +84,7 @@ def test_solution_is_always_feasible(inputs):
     nodes, apps, jobs, lr_target, budget = inputs
     solver = PlacementSolver(SolverConfig(change_budget=budget))
     solution = solver.solve(nodes, apps, jobs, lr_target=lr_target)
-
-    solution.placement.validate(Cluster(nodes))
-
-    caps = {f"vm-{r.job_id}": r.speed_cap for r in jobs}
-    for entry in solution.placement:
-        if entry.vm_id in caps:
-            assert entry.cpu_mhz <= caps[entry.vm_id] * (1 + 1e-9)
-
-    if budget is not None:
-        assert solution.changes <= budget
-
-    placed_jobs = [e.vm_id for e in solution.placement if e.vm_id.startswith("vm-")]
-    assert len(placed_jobs) == len(set(placed_jobs))
+    assert_solution_feasible(solution, nodes, jobs=jobs, apps=apps, budget=budget)
 
 
 @given(solver_inputs())

@@ -2,12 +2,20 @@
 
 import pytest
 
-from repro.cluster import homogeneous_cluster
+from repro.cluster import Placement, homogeneous_cluster
 from repro.config import SolverConfig
-from repro.core import AppRequest, JobRequest, PlacementSolver, water_fill
-from repro.errors import ConfigurationError
+from repro.core import (
+    AppRequest,
+    JobRequest,
+    PlacementSolution,
+    PlacementSolver,
+    placement_efficiency,
+    water_fill,
+)
+from repro.errors import ConfigurationError, PlacementError
 
 from ..conftest import make_node
+from ..helpers import assert_solution_feasible
 
 
 def job(job_id: str, target: float, submit: float = 0.0, node: str | None = None,
@@ -250,6 +258,34 @@ class TestBudget:
         assert sol.changes == 0
 
 
+class TestPlacementEfficiency:
+    @staticmethod
+    def solution(job_mhz: float, web_mhz: float) -> PlacementSolution:
+        return PlacementSolution(
+            placement=Placement(),
+            job_rates={"j0": job_mhz},
+            app_allocations={"web": web_mhz},
+        )
+
+    def test_fraction_of_capacity(self):
+        assert placement_efficiency(self.solution(6_000.0, 3_000.0), 12_000.0) \
+            == pytest.approx(0.75)
+
+    def test_float_dust_above_one_still_clamped(self):
+        sol = self.solution(12_000.0 * (1 + 1e-9), 0.0)
+        assert placement_efficiency(sol, 12_000.0) == 1.0
+
+    def test_double_granted_cpu_raises(self):
+        # A ratio meaningfully above 1.0 means CPU was granted twice --
+        # a solver bug that used to be silently clamped to 1.0.
+        with pytest.raises(PlacementError, match="double-granted"):
+            placement_efficiency(self.solution(13_000.0, 0.0), 12_000.0)
+
+    def test_non_positive_capacity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            placement_efficiency(self.solution(0.0, 0.0), 0.0)
+
+
 class TestFeasibilityAndDeterminism:
     def test_output_validates_against_cluster(self):
         cluster = homogeneous_cluster(3, prefix="n")
@@ -258,7 +294,17 @@ class TestFeasibilityAndDeterminism:
         apps_ = [app(30_000.0)]
         # NB: homogeneous_cluster ids are n000..; rebuild requests to match.
         sol = solver.solve(list(cluster), apps_, waiting, lr_target=12_000.0)
-        sol.placement.validate(cluster)
+        assert_solution_feasible(sol, list(cluster), jobs=waiting, apps=apps_)
+
+    def test_full_contract_with_evictions_and_budget(self):
+        solver = PlacementSolver(SolverConfig(eviction_margin=0.0, change_budget=6))
+        running = [job(f"r{i}", 200.0, node="n0") for i in range(3)]
+        waiting = [job(f"u{i}", 3000.0 - i) for i in range(4)]
+        apps_ = [app(9_000.0)]
+        sol = solver.solve(nodes(2), apps_, running + waiting, lr_target=9_000.0)
+        assert_solution_feasible(
+            sol, nodes(2), jobs=running + waiting, apps=apps_, budget=6
+        )
 
     def test_identical_inputs_identical_output(self):
         solver = PlacementSolver()

@@ -6,6 +6,7 @@ from repro.config import SolverConfig
 from repro.core import AppRequest, JobRequest, PlacementSolver
 
 from ..conftest import make_node
+from ..helpers import assert_solution_feasible
 
 
 def job(job_id: str, target: float, node: str | None = None,
@@ -29,13 +30,13 @@ class TestRebalance:
             job("c", 3000.0, node="n0"),
             job("d", 3000.0, node="n0", mem=400.0),
         ]
-        sol = solver.solve(
-            [make_node("n0", procs=2), make_node("n1")], [], running
-        )
+        node_list = [make_node("n0", procs=2), make_node("n1")]
+        sol = solver.solve(node_list, [], running)
         assert sol.migrated_jobs, "expected at least one rebalancing migration"
         migrated = sol.migrated_jobs[0]
         assert sol.placement.entry(f"vm-{migrated}").node_id == "n1"
         assert sol.job_rates[migrated] == pytest.approx(3000.0)
+        assert_solution_feasible(sol, node_list, jobs=running)
 
     def test_no_migration_when_targets_met(self):
         solver = PlacementSolver(SolverConfig(migration_deficit=0.9))
@@ -56,6 +57,7 @@ class TestRebalance:
         nodes = [make_node("n0", procs=2), make_node("n1"), make_node("n2")]
         sol = solver.solve(nodes, [], running)
         assert len(sol.migrated_jobs) <= 1
+        assert_solution_feasible(sol, nodes, jobs=running)
 
     def test_zero_max_migrations_disables_phase(self):
         solver = PlacementSolver(
