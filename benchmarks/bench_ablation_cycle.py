@@ -6,11 +6,17 @@ longer cycles are cheap but sluggish.  Sweeps the cycle length on the
 scaled scenario.
 """
 
+import os
+
 from repro.config import ControllerConfig
 from repro.experiments import run_scenario, scaled_paper_scenario
 from repro.experiments.sweeps import default_metrics, run_sweep, sweep_table
 
 CYCLES = (150.0, 300.0, 600.0, 1200.0)
+
+#: Grid points fan out over a process pool (scenario_for is module-level,
+#: hence picklable); identical results to the serial path by contract.
+_WORKERS = min(len(CYCLES), os.cpu_count() or 1)
 
 
 def scenario_for(cycle: float):
@@ -27,7 +33,9 @@ def test_cycle_length_sweep(benchmark):
     )
     assert result.cycles > 100
 
-    sweep = run_sweep("control-cycle", CYCLES, scenario_for, default_metrics)
+    sweep = run_sweep(
+        "control-cycle", CYCLES, scenario_for, default_metrics, workers=_WORKERS
+    )
     print("\n" + sweep_table(sweep, parameter_label="cycle (s)"))
 
     gaps = sweep.metric("utility_gap")

@@ -1,20 +1,48 @@
-"""PERF -- end-to-end controller decision cost.
+"""PERF -- end-to-end controller decision cost, as a scaling grid.
 
-One `decide()` call on a mid-run-like state (25 nodes, ~150 incomplete
-jobs): demand estimation, arbitration, hypothetical equalization,
-placement and action planning together.  The paper's control cycle is
-600 s; the decision must cost milliseconds, not minutes.
+The paper's control cycle is 600 s; the decision must cost milliseconds,
+not minutes.  This bench measures one full ``decide()`` -- demand
+estimation, arbitration, hypothetical equalization, placement and action
+planning together -- on mid-run-like states across a nodes x jobs grid,
+and emits ``BENCH_control_cycle.json``: the repo's canonical perf
+artifact.  Every perf PR quotes its numbers against the previous run so
+the decide() latency trajectory stays visible (schema and comparison
+workflow: ``benchmarks/README.md``).
+
+Environment knobs:
+
+* ``BENCH_SMOKE=1`` -- run only the smallest grid point (CI perf-smoke).
+* ``BENCH_OUTPUT=path`` -- where to write the JSON artifact (defaults to
+  ``BENCH_control_cycle.json`` in the working directory).
 """
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import statistics
+import time
 
 import numpy as np
 
-from repro.cluster import Placement, homogeneous_cluster
+from repro.cluster import Placement, PlacementEntry, homogeneous_cluster
 from repro.config import ControllerConfig
 from repro.core import UtilityDrivenController
+from repro.types import WorkloadKind
 from repro.workloads import Job, JobSpec, TransactionalAppSpec
+
+#: (nodes, jobs) grid points.  The first is the CI smoke point; the
+#: 100x1000 point is the acceptance anchor quoted in perf PRs; 200x2000
+#: is the ROADMAP's production-scale target.
+SCALING_GRID: list[tuple[int, int]] = [(25, 150), (50, 500), (100, 1000), (200, 2000)]
+
+#: decide() repetitions per grid point (first call additionally warms up).
+_REPEATS = 9
 
 
 def build_state(num_nodes: int = 25, num_jobs: int = 150, t: float = 30_000.0):
+    """A mid-run-like cluster state: ~3 jobs running per node, one web app."""
     rng = np.random.default_rng(7)
     cluster = homogeneous_cluster(num_nodes)
     spec = TransactionalAppSpec(
@@ -47,9 +75,6 @@ def build_state(num_nodes: int = 25, num_jobs: int = 150, t: float = 30_000.0):
     app_nodes = {"web": frozenset(node_ids)}
     for job in jobs:
         if job.node_id is not None:
-            from repro.cluster import PlacementEntry
-            from repro.types import WorkloadKind
-
             placement.add(PlacementEntry(
                 vm_id=job.vm.vm_id, node_id=job.node_id,
                 cpu_mhz=job.rate, memory_mb=1200.0,
@@ -58,7 +83,142 @@ def build_state(num_nodes: int = 25, num_jobs: int = 150, t: float = 30_000.0):
     return controller, cluster, jobs, placement, vm_states, app_nodes, t
 
 
+def machine_calibration_ms() -> float:
+    """Median runtime of a fixed reference workload on this machine.
+
+    Dividing decide() latencies by this factor gives machine-normalized
+    numbers, so artifacts recorded on different hardware stay roughly
+    comparable along the committed trajectory.  The workload mixes numpy
+    reductions with Python-level loops in proportions resembling the
+    controller's hot path.
+    """
+    rng = np.random.default_rng(0)
+    a = rng.uniform(size=4096)
+    b = rng.uniform(size=4096)
+
+    def reference() -> float:
+        acc = 0.0
+        for _ in range(64):
+            acc += float(np.minimum(a, b).sum())
+        for i in range(20_000):
+            acc += i * 1e-9
+        return acc
+
+    reference()  # warm-up
+    samples = []
+    for _ in range(7):
+        t0 = time.perf_counter()
+        reference()
+        samples.append((time.perf_counter() - t0) * 1e3)
+    return statistics.median(samples)
+
+
+def measure_point(num_nodes: int, num_jobs: int, repeats: int = _REPEATS) -> dict:
+    """Median/p95 decide() latency on one grid point."""
+    controller, cluster, jobs, placement, vm_states, app_nodes, t = build_state(
+        num_nodes, num_jobs
+    )
+    nodes = cluster.active_nodes()
+
+    def decide():
+        return controller.decide(
+            t, nodes=nodes, jobs=jobs, current_placement=placement,
+            vm_states=vm_states, app_nodes=app_nodes,
+        )
+
+    decision = decide()  # warm-up; also validated below
+    decision.placement.validate(cluster)
+    samples = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        decide()
+        samples.append((time.perf_counter() - t0) * 1e3)
+    samples.sort()
+    return {
+        "nodes": num_nodes,
+        "jobs": num_jobs,
+        "population": decision.diagnostics.population_size,
+        "repeats": repeats,
+        "decide_median_ms": statistics.median(samples),
+        "decide_p95_ms": samples[min(len(samples) - 1, int(round(0.95 * (len(samples) - 1))))],
+    }
+
+
+def run_grid(smoke: bool = False) -> dict:
+    """Measure the grid and return the full artifact document.
+
+    If a previous artifact exists at the output path (the repo commits
+    one per perf PR), its points are carried over under ``previous`` so
+    the new file always shows one step of the trajectory.
+    """
+    grid = SCALING_GRID[:1] if smoke else SCALING_GRID
+    calibration = machine_calibration_ms()
+    points = []
+    for num_nodes, num_jobs in grid:
+        point = measure_point(num_nodes, num_jobs)
+        point["decide_median_normalized"] = point["decide_median_ms"] / calibration
+        point["decide_p95_normalized"] = point["decide_p95_ms"] / calibration
+        points.append(point)
+    doc = {
+        "bench": "control_cycle_scaling",
+        "schema_version": 1,
+        "smoke": smoke,
+        "machine": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "calibration_ms": calibration,
+        },
+        "points": points,
+    }
+    prior = _read_prior_artifact()
+    if prior is not None:
+        doc["previous"] = {
+            "label": prior.get("label", "previous run"),
+            "machine": prior.get("machine"),
+            "points": prior.get("points"),
+        }
+    return doc
+
+
+def _artifact_path() -> str:
+    return os.environ.get("BENCH_OUTPUT", "BENCH_control_cycle.json")
+
+
+def _read_prior_artifact() -> dict | None:
+    try:
+        with open(_artifact_path()) as fh:
+            prior = json.load(fh)
+    except (OSError, json.JSONDecodeError):
+        return None
+    return prior if prior.get("bench") == "control_cycle_scaling" else None
+
+
+def _write_artifact(doc: dict) -> str:
+    path = _artifact_path()
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=2)
+        fh.write("\n")
+    return path
+
+
+def test_control_cycle_scaling():
+    """Measure the scaling grid and write ``BENCH_control_cycle.json``."""
+    smoke = os.environ.get("BENCH_SMOKE", "") == "1"
+    doc = run_grid(smoke=smoke)
+    path = _write_artifact(doc)
+    header = f"{'nodes':>6} {'jobs':>6} {'median ms':>10} {'p95 ms':>8} {'norm':>8}"
+    print(f"\n{header}")
+    for p in doc["points"]:
+        print(
+            f"{p['nodes']:>6} {p['jobs']:>6} {p['decide_median_ms']:>10.2f} "
+            f"{p['decide_p95_ms']:>8.2f} {p['decide_median_normalized']:>8.3f}"
+        )
+    print(f"artifact: {path} (calibration {doc['machine']['calibration_ms']:.2f} ms)")
+    assert all(p["decide_median_ms"] > 0 for p in doc["points"])
+
+
 def test_controller_decide(benchmark):
+    """Single-point pytest-benchmark view (25 nodes, ~150 jobs)."""
     controller, cluster, jobs, placement, vm_states, app_nodes, t = build_state()
 
     decision = benchmark(
@@ -79,3 +239,9 @@ def test_controller_decide(benchmark):
     )
     decision.placement.validate(cluster)
     assert diag.population_size > 100
+
+
+if __name__ == "__main__":
+    doc = run_grid(smoke=os.environ.get("BENCH_SMOKE", "") == "1")
+    print(json.dumps(doc, indent=2))
+    _write_artifact(doc)

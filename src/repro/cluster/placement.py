@@ -9,11 +9,21 @@ to the live VM registry.
 Placements are *value objects*: the solver builds a new one each cycle and
 the actions planner (:mod:`repro.core.actions_planner`) diffs it against
 the previous one.
+
+The structure is **indexed by node**: alongside the VM-id map it maintains
+per-node entry tables and running CPU/memory aggregates, updated on every
+:meth:`Placement.add` / :meth:`Placement.remove` / :meth:`Placement.update_cpu`.
+That turns :meth:`entries_on`, :meth:`cpu_used`, :meth:`memory_used`,
+:meth:`by_node` and :meth:`validate` -- the queries on the solver's, the
+actions planner's, the runner's and the recorder's hot paths -- from
+full-table scans into O(per-node) lookups.  The aggregates are maintained
+incrementally (sums drift by float round-off only, orders of magnitude
+below the validation tolerance).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 from typing import Iterable, Iterator, Mapping, Optional
 
 from ..errors import PlacementError
@@ -41,19 +51,36 @@ class PlacementEntry:
             raise PlacementError(f"vm {self.vm_id}: non-positive memory footprint")
 
     def with_cpu(self, cpu_mhz: Mhz) -> "PlacementEntry":
-        """Copy of this entry with a different CPU grant."""
-        return replace(self, cpu_mhz=cpu_mhz)
+        """Copy of this entry with a different CPU grant.
+
+        Direct construction: ``dataclasses.replace`` costs ~3x as much
+        and this runs once per boosted job per control cycle.
+        """
+        return PlacementEntry(
+            vm_id=self.vm_id,
+            node_id=self.node_id,
+            cpu_mhz=cpu_mhz,
+            memory_mb=self.memory_mb,
+            kind=self.kind,
+        )
 
 
 class Placement:
     """Immutable-by-convention map of VM id -> :class:`PlacementEntry`."""
 
+    __slots__ = ("_entries", "_node_entries", "_node_cpu", "_node_mem")
+
     def __init__(self, entries: Iterable[PlacementEntry] = ()) -> None:
         self._entries: dict[str, PlacementEntry] = {}
+        #: node_id -> (vm_id -> entry), in insertion order per node.
+        self._node_entries: dict[str, dict[str, PlacementEntry]] = {}
+        #: node_id -> running CPU / memory totals (keys mirror _node_entries).
+        self._node_cpu: dict[str, float] = {}
+        self._node_mem: dict[str, float] = {}
         for entry in entries:
             if entry.vm_id in self._entries:
                 raise PlacementError(f"vm {entry.vm_id} placed twice")
-            self._entries[entry.vm_id] = entry
+            self._insert(entry)
 
     # ------------------------------------------------------------------
     # Collection protocol
@@ -83,54 +110,89 @@ class Placement:
     # ------------------------------------------------------------------
     def copy(self) -> "Placement":
         """Shallow copy (entries are frozen, so this is a safe snapshot)."""
-        return Placement(self._entries.values())
+        clone = Placement.__new__(Placement)
+        clone._entries = dict(self._entries)
+        clone._node_entries = {
+            node_id: dict(entries) for node_id, entries in self._node_entries.items()
+        }
+        clone._node_cpu = dict(self._node_cpu)
+        clone._node_mem = dict(self._node_mem)
+        return clone
 
     def add(self, entry: PlacementEntry) -> None:
         """Insert a new entry; the VM must not already be placed."""
         if entry.vm_id in self._entries:
             raise PlacementError(f"vm {entry.vm_id} already placed")
-        self._entries[entry.vm_id] = entry
+        self._insert(entry)
 
     def remove(self, vm_id: str) -> PlacementEntry:
         """Remove and return the entry for ``vm_id``."""
         try:
-            return self._entries.pop(vm_id)
+            entry = self._entries.pop(vm_id)
         except KeyError:
             raise PlacementError(f"vm {vm_id!r} is not placed") from None
+        node_id = entry.node_id
+        node_entries = self._node_entries[node_id]
+        del node_entries[vm_id]
+        if node_entries:
+            self._node_cpu[node_id] -= entry.cpu_mhz
+            self._node_mem[node_id] -= entry.memory_mb
+        else:
+            # Dropping emptied nodes keeps aggregates drift-free across
+            # long churn and keeps by_node() free of empty groups.
+            del self._node_entries[node_id]
+            del self._node_cpu[node_id]
+            del self._node_mem[node_id]
+        return entry
 
     def update_cpu(self, vm_id: str, cpu_mhz: Mhz) -> None:
         """Replace the CPU grant of an existing entry."""
-        self._entries[vm_id] = self.entry(vm_id).with_cpu(cpu_mhz)
+        old = self.entry(vm_id)
+        new = old.with_cpu(cpu_mhz)
+        self._entries[vm_id] = new
+        self._node_entries[old.node_id][vm_id] = new
+        self._node_cpu[old.node_id] += new.cpu_mhz - old.cpu_mhz
+
+    def _insert(self, entry: PlacementEntry) -> None:
+        self._entries[entry.vm_id] = entry
+        node_entries = self._node_entries.get(entry.node_id)
+        if node_entries is None:
+            self._node_entries[entry.node_id] = {entry.vm_id: entry}
+            self._node_cpu[entry.node_id] = entry.cpu_mhz
+            self._node_mem[entry.node_id] = entry.memory_mb
+        else:
+            node_entries[entry.vm_id] = entry
+            self._node_cpu[entry.node_id] += entry.cpu_mhz
+            self._node_mem[entry.node_id] += entry.memory_mb
 
     # ------------------------------------------------------------------
     # Per-node aggregation
     # ------------------------------------------------------------------
     def entries_on(self, node_id: str) -> list[PlacementEntry]:
         """All entries hosted on ``node_id``."""
-        return [e for e in self._entries.values() if e.node_id == node_id]
+        node_entries = self._node_entries.get(node_id)
+        return list(node_entries.values()) if node_entries else []
 
     def cpu_used(self, node_id: str) -> Mhz:
         """Total CPU granted on ``node_id``."""
-        return sum(e.cpu_mhz for e in self._entries.values() if e.node_id == node_id)
+        return self._node_cpu.get(node_id, 0.0)
 
     def memory_used(self, node_id: str) -> Megabytes:
         """Total memory occupied on ``node_id``."""
-        return sum(e.memory_mb for e in self._entries.values() if e.node_id == node_id)
+        return self._node_mem.get(node_id, 0.0)
 
     def total_cpu(self, kind: Optional[WorkloadKind] = None) -> Mhz:
         """Total CPU granted, optionally restricted to one workload kind."""
-        return sum(
-            e.cpu_mhz
-            for e in self._entries.values()
-            if kind is None or e.kind is kind
-        )
+        if kind is None:
+            return sum(self._node_cpu.values())
+        return sum(e.cpu_mhz for e in self._entries.values() if e.kind is kind)
 
     def by_node(self) -> Mapping[str, list[PlacementEntry]]:
         """Entries grouped by hosting node."""
-        grouped: dict[str, list[PlacementEntry]] = {}
-        for entry in self._entries.values():
-            grouped.setdefault(entry.node_id, []).append(entry)
-        return grouped
+        return {
+            node_id: list(entries.values())
+            for node_id, entries in self._node_entries.items()
+        }
 
     # ------------------------------------------------------------------
     # Validation
@@ -140,25 +202,26 @@ class Placement:
 
         Verifies that every hosting node exists and is active, and that no
         node's CPU or memory capacity is exceeded (within float tolerance).
+        O(nodes used) thanks to the maintained aggregates.
 
         Raises
         ------
         PlacementError
             Describing the first violation found.
         """
-        for node_id, entries in self.by_node().items():
+        for node_id in self._node_entries:
             if node_id not in cluster:
                 raise PlacementError(f"placement references unknown node {node_id!r}")
             if not cluster.is_active(node_id):
                 raise PlacementError(f"placement uses failed node {node_id!r}")
             node = cluster.node(node_id)
-            cpu = sum(e.cpu_mhz for e in entries)
+            cpu = self._node_cpu[node_id]
             if cpu > node.cpu_capacity * (1 + _EPS) + _EPS:
                 raise PlacementError(
                     f"node {node_id}: CPU over-committed "
                     f"({cpu:.1f} > {node.cpu_capacity:.1f} MHz)"
                 )
-            mem = sum(e.memory_mb for e in entries)
+            mem = self._node_mem[node_id]
             if mem > node.memory_mb * (1 + _EPS) + _EPS:
                 raise PlacementError(
                     f"node {node_id}: memory over-committed "

@@ -49,7 +49,6 @@ from .demand import (
 )
 from .hypothetical import (
     HypotheticalAllocation,
-    equalize_hypothetical_utility,
     longrunning_max_utility_demand,
 )
 from .backends import make_solver
@@ -208,7 +207,9 @@ class UtilityDrivenController:
         )
 
         split = self._arbiter.split(capacity, tx_curve, lr_curve)
-        hypothetical = equalize_hypothetical_utility(population, split.lr_allocation)
+        # One float-exact equalization per cycle: the arbiter's own curve
+        # evaluations are coarse, only this result feeds per-job rates.
+        hypothetical = lr_curve.equalize(split.lr_allocation)
 
         app_targets = self._app_targets(tx_curves, tx_curve, split)
         app_requests = self._app_requests(app_targets, app_nodes)

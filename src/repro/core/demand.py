@@ -27,11 +27,21 @@ from ..perf.jobmodel import JobPopulation
 from ..perf.queueing import TransactionalPerfModel
 from ..types import Mhz, WorkloadKind
 from ..utility.transactional import TransactionalUtility
-from .hypothetical import equalize_hypothetical_utility
+from .hypothetical import HypotheticalAllocation, HypotheticalEqualizer
 
 #: Which scalar of the hypothetical allocation the arbiter compares:
 #: the population mean (what Figure 1 plots) or the equalized level.
 LongRunningMetric = Literal["mean", "level"]
+
+#: Bisection depth for arbiter-facing curve evaluations.  The arbiter
+#: compares utilities against a 1e-4 tolerance, so driving the inner
+#: equalization to float exactness (~55 effective iterations) buys
+#: nothing: 30 iterations bound the level error by ~1e-8 -- four orders
+#: of magnitude below the arbiter's resolution -- at half the cost of
+#: the dominant term of the control cycle.  The *final* equalization
+#: that produces per-job target rates (:meth:`LongRunningCurve.equalize`)
+#: always runs float-exact.
+_CURVE_EVAL_ITERS = 30
 
 
 class UtilityCurve(Protocol):
@@ -161,7 +171,20 @@ class TransactionalAggregateCurve:
 
 
 class LongRunningCurve:
-    """Utility curve of the long-running workload via hypothetical utility."""
+    """Utility curve of the long-running workload via hypothetical utility.
+
+    Each evaluation runs a hypothetical-utility equalization, the single
+    most expensive operation on the control cycle's hot path, so the
+    curve holds one :class:`HypotheticalEqualizer` (the allocation-
+    independent setup is shared across the arbiter's dozen-plus
+    evaluations) and memoizes :meth:`utility` by allocation -- the
+    arbiter re-evaluates its accepted split, and a curve instance is
+    built fresh from one population snapshot per cycle, so the memo
+    cannot go stale.  :meth:`utility` results are coarse
+    (``_CURVE_EVAL_ITERS``); :meth:`equalize` is float-exact and
+    uncached -- the controller calls it exactly once per cycle for the
+    per-job target rates.
+    """
 
     def __init__(self, population: JobPopulation, metric: LongRunningMetric = "mean") -> None:
         if metric not in ("mean", "level"):
@@ -169,6 +192,8 @@ class LongRunningCurve:
         self._population = population
         self._metric = metric
         self._demand = float(population.total_cap) if len(population) else 0.0
+        self._equalizer = HypotheticalEqualizer(population)
+        self._utility_memo: dict[float, float] = {}
 
     @property
     def kind(self) -> WorkloadKind:
@@ -183,11 +208,20 @@ class LongRunningCurve:
         """The underlying job-population snapshot."""
         return self._population
 
+    def equalize(self, allocation: Mhz) -> "HypotheticalAllocation":
+        """Float-exact equalization at ``allocation``."""
+        return self._equalizer.equalize(allocation)
+
     def utility(self, allocation: Mhz) -> float:
         if len(self._population) == 0:
             return 1.0
-        result = equalize_hypothetical_utility(self._population, allocation)
-        return result.mean_utility if self._metric == "mean" else result.utility_level
+        memo = self._utility_memo.get(allocation)
+        if memo is not None:
+            return memo
+        result = self._equalizer.equalize(allocation, bisect_iters=_CURVE_EVAL_ITERS)
+        value = result.mean_utility if self._metric == "mean" else result.utility_level
+        self._utility_memo[allocation] = value
+        return value
 
     def max_utility(self) -> float:
         """The plateau: every job at its speed cap."""

@@ -96,8 +96,151 @@ def _weighted_mean(values: np.ndarray, weights: np.ndarray) -> float:
     return float(np.dot(values, weights) / total_weight)
 
 
+class HypotheticalEqualizer:
+    """Reusable equalization context for one population snapshot.
+
+    The arbiter evaluates the long-running utility curve a dozen-plus
+    times per control cycle, always over the *same* population.  This
+    class hoists everything allocation-independent -- utility ceilings,
+    total cap, the zero-work mask and the bisection scratch buffers --
+    so each :meth:`equalize` call pays only for its bisection.  The
+    arithmetic is operation-for-operation identical to the original
+    single-shot routine (results are bit-identical).
+    """
+
+    __slots__ = (
+        "population", "_n", "_caps", "_weights", "_u_max", "_total_cap",
+        "_goals_abs", "_goal_lengths", "_remaining", "_t",
+        "_no_work", "_has_no_work", "_slack", "_rates_buf", "_nonpos",
+    )
+
+    def __init__(self, population: JobPopulation) -> None:
+        self.population = population
+        n = self._n = len(population)
+        if n == 0:
+            return
+        self._caps = population.caps
+        self._weights = population.importance
+        self._u_max = population.max_achievable_utility()
+        self._total_cap = float(self._caps.sum())
+        self._goals_abs = population.goals_abs
+        self._goal_lengths = population.goal_lengths
+        self._remaining = population.remaining
+        self._t = population.time
+        self._no_work = self._remaining <= 0.0
+        self._has_no_work = bool(self._no_work.any())
+        self._slack = np.empty(n, dtype=float)
+        self._rates_buf = np.empty(n, dtype=float)
+        self._nonpos = np.empty(n, dtype=bool)
+
+    def _consumed_at(self, u: float) -> float:
+        """``Σ min(x_j(u), c_j)`` on reused buffers.
+
+        Exact operation sequence of ``JobPopulation.required_rates``
+        (bit-identical sums) without its per-call allocations and
+        ufunc-context setup.
+        """
+        slack, rates_buf, nonpos = self._slack, self._rates_buf, self._nonpos
+        np.multiply(self._goal_lengths, u, out=slack)  # u * T_j
+        np.subtract(self._goals_abs, slack, out=slack)  # G_j - u * T_j
+        np.subtract(slack, self._t, out=slack)  # (G_j - u * T_j) - t
+        np.less_equal(slack, 0.0, out=nonpos)
+        np.maximum(slack, 1e-300, out=slack)
+        np.divide(self._remaining, slack, out=rates_buf)
+        if nonpos.any():
+            rates_buf[nonpos] = np.inf  # no finite rate reaches u
+        if self._has_no_work:
+            rates_buf[self._no_work] = 0.0
+        np.minimum(rates_buf, self._caps, out=rates_buf)
+        return float(rates_buf.sum())
+
+    def equalize(
+        self, allocation: Mhz, *, bisect_iters: int = _BISECT_ITERS
+    ) -> HypotheticalAllocation:
+        """Divide ``allocation`` MHz among the jobs, equalizing utility.
+
+        See :func:`equalize_hypothetical_utility` for the regimes and the
+        ``bisect_iters`` contract.
+        """
+        if allocation < 0:
+            raise ModelError(f"allocation must be non-negative, got {allocation}")
+        n = self._n
+        if n == 0:
+            return HypotheticalAllocation(
+                utility_level=1.0,
+                rates=np.empty(0, dtype=float),
+                utilities=np.empty(0, dtype=float),
+                mean_utility=1.0,
+                consumed=0.0,
+            )
+        population = self.population
+        caps = self._caps
+        weights = self._weights
+        u_max = self._u_max
+
+        # Surplus: the allocation covers every cap; no trade-off to make.
+        if allocation >= self._total_cap * (1 - _REL_EPS):
+            rates = np.where(population.remaining > 0, caps, 0.0)
+            return HypotheticalAllocation(
+                utility_level=float(u_max.max()),
+                rates=rates,
+                utilities=u_max.copy(),
+                mean_utility=_weighted_mean(u_max, weights),
+                consumed=float(rates.sum()),
+            )
+
+        consumed_at = self._consumed_at
+        u_hi = float(u_max.max())
+        u_lo = float(u_max.min()) - UTILITY_SEARCH_SPAN
+
+        if consumed_at(u_lo) > allocation:
+            # Starved regime: even the floor level over-consumes.  Scale the
+            # floor-level rates down proportionally; the level reported is the
+            # floor (finite), preserving monotonicity for the arbiter.
+            rates_floor = np.minimum(population.required_rates(u_lo), caps)
+            total = float(rates_floor.sum())
+            scale = allocation / total if total > 0 else 0.0
+            rates = rates_floor * scale
+            utilities = np.minimum(np.full(n, u_lo), u_max)
+            return HypotheticalAllocation(
+                utility_level=u_lo,
+                rates=rates,
+                utilities=utilities,
+                mean_utility=_weighted_mean(utilities, weights),
+                consumed=float(rates.sum()),
+            )
+
+        # Loop invariant: consumed_at(u_lo) <= allocation (checked above for
+        # the initial floor, preserved by construction).  Once the interval
+        # collapses to float resolution the midpoint lands on an endpoint and
+        # no further iteration can move ``u_lo``, so breaking early returns
+        # the *identical* result the fixed 100-iteration loop would -- it
+        # just skips the ~45 no-op evaluations past ~55 iterations.
+        for _ in range(bisect_iters):
+            u_mid = 0.5 * (u_lo + u_hi)
+            if u_mid == u_lo:
+                break  # consumed_at(u_lo) <= allocation: u_lo re-selected forever
+            if consumed_at(u_mid) > allocation:
+                if u_mid == u_hi:
+                    break  # u_hi re-selected forever; state frozen
+                u_hi = u_mid
+            else:
+                u_lo = u_mid
+        u_star = u_lo  # consumed_at(u_lo) <= allocation: never over-commits.
+
+        rates = np.minimum(population.required_rates(u_star), caps)
+        utilities = np.minimum(np.full(n, u_star), u_max)
+        return HypotheticalAllocation(
+            utility_level=u_star,
+            rates=rates,
+            utilities=utilities,
+            mean_utility=_weighted_mean(utilities, weights),
+            consumed=float(rates.sum()),
+        )
+
+
 def equalize_hypothetical_utility(
-    population: JobPopulation, allocation: Mhz
+    population: JobPopulation, allocation: Mhz, *, bisect_iters: int = _BISECT_ITERS
 ) -> HypotheticalAllocation:
     """Divide ``allocation`` MHz among the jobs, equalizing expected utility.
 
@@ -111,74 +254,17 @@ def equalize_hypothetical_utility(
     * **starved** (the equalized level would fall below the search floor):
       rates are scaled proportionally to fit and the level is clamped,
       keeping the result finite and monotone in ``allocation``.
+
+    ``bisect_iters`` bounds the bisection (default: float-exact).  Callers
+    that only compare utility *levels* against a loose tolerance -- the
+    arbiter evaluates curves against 1e-4 -- may pass fewer iterations;
+    ``u*`` is then accurate to ``span * 2**-bisect_iters``.
+
+    Callers evaluating many allocations over one population should hold a
+    :class:`HypotheticalEqualizer` instead of re-entering here.
     """
-    if allocation < 0:
-        raise ModelError(f"allocation must be non-negative, got {allocation}")
-    n = len(population)
-    if n == 0:
-        return HypotheticalAllocation(
-            utility_level=1.0,
-            rates=np.empty(0, dtype=float),
-            utilities=np.empty(0, dtype=float),
-            mean_utility=1.0,
-            consumed=0.0,
-        )
-
-    caps = population.caps
-    weights = population.importance
-    u_max = population.max_achievable_utility()
-    total_cap = float(caps.sum())
-
-    # Surplus: the allocation covers every cap; no trade-off to make.
-    if allocation >= total_cap * (1 - _REL_EPS):
-        rates = np.where(population.remaining > 0, caps, 0.0)
-        return HypotheticalAllocation(
-            utility_level=float(u_max.max()),
-            rates=rates,
-            utilities=u_max.copy(),
-            mean_utility=_weighted_mean(u_max, weights),
-            consumed=float(rates.sum()),
-        )
-
-    def consumed_at(u: float) -> float:
-        return float(np.minimum(population.required_rates(u), caps).sum())
-
-    u_hi = float(u_max.max())
-    u_lo = float(u_max.min()) - UTILITY_SEARCH_SPAN
-
-    if consumed_at(u_lo) > allocation:
-        # Starved regime: even the floor level over-consumes.  Scale the
-        # floor-level rates down proportionally; the level reported is the
-        # floor (finite), preserving monotonicity for the arbiter.
-        rates_floor = np.minimum(population.required_rates(u_lo), caps)
-        total = float(rates_floor.sum())
-        scale = allocation / total if total > 0 else 0.0
-        rates = rates_floor * scale
-        utilities = np.minimum(np.full(n, u_lo), u_max)
-        return HypotheticalAllocation(
-            utility_level=u_lo,
-            rates=rates,
-            utilities=utilities,
-            mean_utility=_weighted_mean(utilities, weights),
-            consumed=float(rates.sum()),
-        )
-
-    for _ in range(_BISECT_ITERS):
-        u_mid = 0.5 * (u_lo + u_hi)
-        if consumed_at(u_mid) > allocation:
-            u_hi = u_mid
-        else:
-            u_lo = u_mid
-    u_star = u_lo  # consumed_at(u_lo) <= allocation: never over-commits.
-
-    rates = np.minimum(population.required_rates(u_star), caps)
-    utilities = np.minimum(np.full(n, u_star), u_max)
-    return HypotheticalAllocation(
-        utility_level=u_star,
-        rates=rates,
-        utilities=utilities,
-        mean_utility=_weighted_mean(utilities, weights),
-        consumed=float(rates.sum()),
+    return HypotheticalEqualizer(population).equalize(
+        allocation, bisect_iters=bisect_iters
     )
 
 

@@ -8,6 +8,7 @@ examples.
 
 from __future__ import annotations
 
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Callable, Mapping, Optional, Sequence
 
@@ -64,19 +65,50 @@ def default_metrics(result: ExperimentResult) -> Mapping[str, float]:
     }
 
 
+def _run_point(
+    args: tuple[
+        ScenarioFactory, MetricExtractor, Optional[PolicyFactory], object
+    ],
+) -> SweepPoint:
+    """One grid point, from factory call to extracted metrics.
+
+    Module-level so worker processes can unpickle it; the whole run
+    happens in the worker and only the (small) metrics mapping returns.
+    """
+    scenario_factory, metric_extractor, policy_factory, value = args
+    scenario = scenario_factory(value)
+    result = run_scenario(scenario, policy_factory)
+    return SweepPoint(parameter=value, metrics=dict(metric_extractor(result)))
+
+
 def run_sweep(
     name: str,
     grid: Sequence[object],
     scenario_factory: ScenarioFactory,
     metric_extractor: MetricExtractor = default_metrics,
     policy_factory: Optional[PolicyFactory] = None,
+    workers: Optional[int] = None,
 ) -> SweepResult:
-    """Run ``scenario_factory(value)`` for every grid value and collect metrics."""
-    points = []
-    for value in grid:
-        scenario = scenario_factory(value)
-        result = run_scenario(scenario, policy_factory)
-        points.append(SweepPoint(parameter=value, metrics=metric_extractor(result)))
+    """Run ``scenario_factory(value)`` for every grid value and collect metrics.
+
+    ``workers`` > 1 fans the grid points out over a process pool (each
+    point is an independent simulation, so ablation grids scale to all
+    cores).  Results are identical to the serial path: every run is
+    seeded by its scenario (built deterministically from its grid value)
+    and ``ProcessPoolExecutor.map`` preserves grid order.  The factories
+    and extractor must then be picklable -- module-level functions or
+    ``functools.partial`` over module-level functions, not closures.
+    """
+    if workers is not None and workers < 1:
+        raise ValueError("workers must be a positive integer")
+    tasks = [
+        (scenario_factory, metric_extractor, policy_factory, value) for value in grid
+    ]
+    if workers is None or workers == 1 or len(tasks) <= 1:
+        points = [_run_point(task) for task in tasks]
+    else:
+        with ProcessPoolExecutor(max_workers=min(workers, len(tasks))) as pool:
+            points = list(pool.map(_run_point, tasks))
     return SweepResult(name=name, points=tuple(points))
 
 

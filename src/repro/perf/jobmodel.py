@@ -111,21 +111,31 @@ def snapshot_jobs(jobs: Iterable[Job], t: Seconds) -> JobPopulation:
     goals_abs: list[float] = []
     goal_lengths: list[float] = []
     importance: list[float] = []
+    # Bound the append methods once: this loop visits every job every
+    # control cycle and is the controller's main O(population) pass.
+    add_id = ids.append
+    add_rem = remaining.append
+    add_cap = caps.append
+    add_goal = goals_abs.append
+    add_len = goal_lengths.append
+    add_imp = importance.append
     for job in jobs:
-        if not job.is_incomplete or job.spec.submit_time > t:
+        spec = job.spec
+        if spec.submit_time > t or not job.is_incomplete:
             continue
-        if t < job.last_update:
+        last_update = job.last_update
+        if t < last_update:
             raise ModelError(
                 f"job {job.job_id}: snapshot time {t} precedes last update "
-                f"{job.last_update}"
+                f"{last_update}"
             )
-        rem = max(job.remaining_work - job.rate * (t - job.last_update), 0.0)
-        ids.append(job.job_id)
-        remaining.append(rem)
-        caps.append(job.spec.speed_cap_mhz)
-        goals_abs.append(job.spec.absolute_goal)
-        goal_lengths.append(job.spec.completion_goal)
-        importance.append(job.spec.importance)
+        rem = max(job.remaining_work - job.rate * (t - last_update), 0.0)
+        add_id(spec.job_id)
+        add_rem(rem)
+        add_cap(spec.speed_cap_mhz)
+        add_goal(spec.absolute_goal)
+        add_len(spec.completion_goal)
+        add_imp(spec.importance)
     return JobPopulation(
         time=t,
         job_ids=tuple(ids),

@@ -6,7 +6,12 @@ run e.g. job completions before the control cycle at the same instant) and
 then by insertion sequence, which makes every run deterministic.
 
 Cancellation is *lazy*: :meth:`Event.cancel` marks the event and the queue
-discards it when popped, which keeps the heap operations O(log n).
+discards it when popped, which keeps the heap operations O(log n).  To
+stop long runs with heavy rescheduling (every completion re-prediction
+cancels the previous completion event) from growing the heap without
+bound, the queue counts its cancelled residents and **compacts** -- drops
+them and re-heapifies -- whenever they outnumber the live events, keeping
+the heap at most ~2x the live population for O(1) amortized cost.
 """
 
 from __future__ import annotations
@@ -22,6 +27,10 @@ from ..types import Seconds
 #: at which the event fires.
 EventAction = Callable[[Seconds], None]
 
+#: Heaps smaller than this are never compacted: rebuilding a dozen-entry
+#: list saves nothing and the threshold keeps tiny queues branch-cheap.
+_COMPACT_MIN_HEAP = 64
+
 
 class Event:
     """A scheduled callback.
@@ -30,7 +39,7 @@ class Event:
     ``schedule`` helpers) rather than directly.
     """
 
-    __slots__ = ("time", "order", "seq", "action", "tag", "_cancelled", "_fired")
+    __slots__ = ("time", "order", "seq", "action", "tag", "_cancelled", "_fired", "_queue")
 
     def __init__(
         self,
@@ -47,6 +56,7 @@ class Event:
         self.tag = tag
         self._cancelled = False
         self._fired = False
+        self._queue: Optional["EventQueue"] = None
 
     @property
     def cancelled(self) -> bool:
@@ -66,7 +76,11 @@ class Event:
         """
         if self._fired:
             raise SimulationError(f"cannot cancel already-fired event {self!r}")
+        if self._cancelled:
+            return
         self._cancelled = True
+        if self._queue is not None:
+            self._queue._note_cancelled()
 
     def _sort_key(self) -> tuple[Seconds, int, int]:
         return (self.time, self.order, self.seq)
@@ -82,12 +96,13 @@ class Event:
 class EventQueue:
     """Priority queue of pending :class:`Event` objects."""
 
-    __slots__ = ("_heap", "_counter", "_live")
+    __slots__ = ("_heap", "_counter", "_live", "_cancelled_in_heap")
 
     def __init__(self) -> None:
         self._heap: list[Event] = []
         self._counter = itertools.count()
         self._live = 0
+        self._cancelled_in_heap = 0
 
     def __len__(self) -> int:
         """Number of live (non-cancelled) events still queued."""
@@ -96,6 +111,7 @@ class EventQueue:
     def push(self, time: Seconds, action: EventAction, *, order: int = 0, tag: str = "") -> Event:
         """Queue ``action`` to fire at absolute ``time`` and return its handle."""
         event = Event(time, order, next(self._counter), action, tag)
+        event._queue = self
         heapq.heappush(self._heap, event)
         self._live += 1
         return event
@@ -112,10 +128,27 @@ class EventQueue:
             return None
         event = heapq.heappop(self._heap)
         self._live -= 1
+        # Detach: the event left the heap, so a later cancel() (legal
+        # until the action fires) must not touch the queue's accounting.
+        event._queue = None
         return event
+
+    def _note_cancelled(self) -> None:
+        """Bookkeep one cancellation; compact when the dead outnumber the live.
+
+        Amortized O(1): a compaction costs O(live + cancelled) but only
+        runs after at least ``heap/2`` cancellations since the last one.
+        """
+        self._live -= 1
+        self._cancelled_in_heap += 1
+        heap = self._heap
+        if len(heap) >= _COMPACT_MIN_HEAP and self._cancelled_in_heap * 2 > len(heap):
+            self._heap = [event for event in heap if not event._cancelled]
+            heapq.heapify(self._heap)
+            self._cancelled_in_heap = 0
 
     def _drop_cancelled(self) -> None:
         heap = self._heap
-        while heap and heap[0].cancelled:
-            heapq.heappop(heap)
-            self._live -= 1
+        while heap and heap[0]._cancelled:
+            heapq.heappop(heap)._queue = None
+            self._cancelled_in_heap -= 1

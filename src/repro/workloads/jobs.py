@@ -155,8 +155,24 @@ class Job:
 
     @property
     def is_incomplete(self) -> bool:
-        """Whether the job still demands CPU (not completed or cancelled)."""
-        return self.phase not in (JobPhase.COMPLETED, JobPhase.CANCELLED)
+        """Whether the job still demands CPU (not completed or cancelled).
+
+        Checked for every job on every control cycle (population
+        snapshots), so it tests the terminal conditions directly instead
+        of deriving the full :attr:`phase` -- while keeping phase's
+        fail-fast on inconsistent VM states (e.g. a STOPPED VM on a
+        non-terminal job indicates a lifecycle bug).
+        """
+        if self._cancelled or self.stats.completed_at is not None:
+            return False
+        state = self.vm.state
+        if (
+            state is VmState.PENDING
+            or state is VmState.RUNNING
+            or state is VmState.SUSPENDED
+        ):
+            return True
+        raise LifecycleError(f"job {self.job_id}: inconsistent VM state {state}")
 
     @property
     def remaining_work(self) -> Cycles:

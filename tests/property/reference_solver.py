@@ -1,47 +1,13 @@
-"""Node-level placement solver.
+"""Frozen copy of the seed (pre-optimization) placement solver.
 
-Turns the arbiter's divisible-CPU decision into an *integral* placement:
-which job VMs run on which nodes, where web-application instances live,
-and how much CPU each VM is granted -- subject to per-node CPU and memory
-capacity.  The solver is **incremental** in the spirit of the dynamic
-application placement algorithms the paper's framework builds on
-(Kimbrel et al.): it starts from the incumbent placement and bounds the
-number of disruptive changes (starts/suspends/resumes/migrations) per
-cycle, because each change has a real cost on the running system.
-
-Phases, in order:
-
-1. **Retention** -- running jobs stay put; their memory stays reserved.
-2. **Per-node CPU water-fill** -- retained jobs receive CPU up to their
-   equalized targets, sharing fairly when a node is tight.
-3. **Admission** -- waiting jobs (pending or suspended), most urgent
-   first, are placed on the node that can come closest to their target.
-4. **Eviction** -- a waiting job clearly more urgent than the least
-   urgent running job (per :class:`~repro.core.job_scheduler.EvictionPolicy`)
-   may displace it (suspend + start), if the change budget allows.
-5. **Migration rebalance** -- running jobs starved far below target are
-   moved to nodes that can serve them fully.
-6. **Web placement** -- each application's arbiter share is spread over
-   its instances (existing first, then new instances on the emptiest
-   nodes); instances left with no CPU are stopped, respecting
-   ``min_instances``.
-
-All iteration orders are sorted, so identical inputs yield identical
-placements (regression tests rely on this).
-
-Scaling
--------
-The residual node capacities live in numpy arrays (:class:`_ClusterState`)
-and the per-request node-selection queries (:meth:`PlacementSolver._best_node_for`,
-:meth:`PlacementSolver._node_with_room`, the web-candidate ordering) are
-vectorized reductions over them instead of per-request Python ``sorted``
-scans.  The reductions replicate the documented lexicographic tie-break
-keys *exactly* -- a maintained heap could not serve the two-dimensional
-(CPU, memory, id) keys without re-scanning -- so the optimized solver is
-bit-for-bit identical to the seed implementation (enforced by
-``tests/property/test_solver_equivalence.py``) while a 2000-job /
-200-node cycle costs milliseconds.
+This module preserves, verbatim, the greedy solver as it stood before the
+indexed-placement / vectorized-hot-path rework, so the randomized
+equivalence test can assert that the optimized solver still produces
+bit-for-bit identical :class:`PlacementSolution`s.  Do NOT edit the
+algorithm here when changing the production solver -- identical output is
+the contract under test.
 """
+
 
 from __future__ import annotations
 
@@ -49,14 +15,12 @@ import math
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
-import numpy as np
-
-from ..cluster.node import NodeSpec
-from ..cluster.placement import Placement, PlacementEntry
-from ..config import SolverConfig
-from ..errors import ConfigurationError, PlacementError
-from ..types import Megabytes, Mhz, WorkloadKind
-from .job_scheduler import (
+from repro.cluster.node import NodeSpec
+from repro.cluster.placement import Placement, PlacementEntry
+from repro.config import SolverConfig
+from repro.errors import ConfigurationError, PlacementError
+from repro.types import Megabytes, Mhz, WorkloadKind
+from repro.core.job_scheduler import (
     AppRequest,
     EvictionPolicy,
     JobRequest,
@@ -67,34 +31,18 @@ from .job_scheduler import (
 #: Allocation slivers below this many MHz are treated as zero.
 _MHZ_EPS = 1e-6
 
-#: Population size beyond which water-fill orders targets with numpy's
-#: stable argsort (identical order to the Python sort, smaller constant)
-#: and the boost phase gathers headroom into arrays.  Below it plain
-#: Python is faster for the solver's per-node fills (a handful of jobs).
-_WATER_FILL_VECTOR_MIN = 128
 
+@dataclass(slots=True)
+class _NodeState:
+    """Mutable residual capacity during solving."""
 
-class _ClusterState:
-    """Residual per-node capacity during solving, columnar.
+    spec: NodeSpec
+    cpu: Mhz
+    mem: Megabytes
 
-    Node order is fixed at construction: ids sorted ascending.  CPU and
-    memory residuals are float64 arrays so the selection queries reduce
-    over them without materializing Python tuples; scalar reads/writes go
-    through plain indexing (IEEE-identical to the seed's per-object
-    float arithmetic).
-    """
-
-    __slots__ = ("ids", "pos", "cpu", "mem")
-
-    def __init__(self, nodes: Sequence[NodeSpec]) -> None:
-        ordered = sorted(nodes, key=lambda n: n.node_id)
-        self.ids: list[str] = [n.node_id for n in ordered]
-        self.pos: dict[str, int] = {nid: i for i, nid in enumerate(self.ids)}
-        self.cpu = np.array([n.cpu_capacity for n in ordered], dtype=float)
-        self.mem = np.array([n.memory_mb for n in ordered], dtype=float)
-
-    def __contains__(self, node_id: str) -> bool:
-        return node_id in self.pos
+    @property
+    def node_id(self) -> str:
+        return self.spec.node_id
 
 
 @dataclass
@@ -129,13 +77,6 @@ def water_fill(targets: Sequence[Mhz], capacity: Mhz) -> list[Mhz]:
     Every target is served up to the common water level; targets below the
     level are fully satisfied.  ``sum(result) == min(capacity, sum(targets))``
     up to float precision.
-
-    The O(n log n) ordering step runs through numpy's stable argsort for
-    populations of ``_WATER_FILL_VECTOR_MIN`` or more (identical order:
-    both sorts are stable over the same float comparisons).  The serving
-    recurrence itself stays scalar because its sequential subtractions
-    define the exact float semantics the solver's bit-for-bit contract
-    pins -- a cumsum formulation would differ in the last ulp.
     """
     if capacity < 0:
         raise ConfigurationError("capacity must be non-negative")
@@ -146,10 +87,7 @@ def water_fill(targets: Sequence[Mhz], capacity: Mhz) -> list[Mhz]:
     if total <= capacity:
         return list(targets)
     # Raise the water level cap by cap.
-    if n >= _WATER_FILL_VECTOR_MIN:
-        order = np.argsort(np.asarray(targets, dtype=float), kind="stable").tolist()
-    else:
-        order = sorted(range(n), key=lambda i: targets[i])
+    order = sorted(range(n), key=lambda i: targets[i])
     alloc = [0.0] * n
     remaining = capacity
     active = n
@@ -199,7 +137,10 @@ class PlacementSolver:
         ``None`` disables redistribution (each job is capped at its own
         target; used by baselines that set explicit per-job rates).
         """
-        state = _ClusterState(nodes)
+        state = {
+            n.node_id: _NodeState(spec=n, cpu=n.cpu_capacity, mem=n.memory_mb)
+            for n in sorted(nodes, key=lambda n: n.node_id)
+        }
         solution = PlacementSolution(
             placement=Placement(), job_rates={}, app_allocations={}
         )
@@ -228,22 +169,21 @@ class PlacementSolver:
     # ------------------------------------------------------------------
     @staticmethod
     def _reserve_web_memory(
-        apps: Sequence[AppRequest], state: _ClusterState
+        apps: Sequence[AppRequest], state: dict[str, _NodeState]
     ) -> None:
         """Commit the memory of instances that enter the cycle running."""
         for app in sorted(apps, key=lambda a: a.app_id):
             for node_id in sorted(app.current_nodes):
                 if node_id in state:
-                    i = state.pos[node_id]
-                    state.mem[i] -= app.instance_memory_mb
-                    if state.mem[i] < -1e-6:
+                    state[node_id].mem -= app.instance_memory_mb
+                    if state[node_id].mem < -1e-6:
                         raise ConfigurationError(
                             f"node {node_id}: running web instances exceed memory"
                         )
 
     @staticmethod
     def _partition_jobs(
-        jobs: Sequence[JobRequest], state: _ClusterState
+        jobs: Sequence[JobRequest], state: dict[str, _NodeState]
     ) -> tuple[list[JobRequest], list[JobRequest]]:
         """Split into (retained running, waiting) requests.
 
@@ -262,7 +202,7 @@ class PlacementSolver:
     def _retain_and_waterfill(
         self,
         running: list[JobRequest],
-        state: _ClusterState,
+        state: dict[str, _NodeState],
         solution: PlacementSolution,
     ) -> None:
         """Phases 1-2: keep running jobs in place, grant CPU by water-fill."""
@@ -271,65 +211,43 @@ class PlacementSolver:
             assert request.current_node is not None
             by_node.setdefault(request.current_node, []).append(request)
         for node_id in sorted(by_node):
-            i = state.pos[node_id]
+            node = state[node_id]
             members = sorted(by_node[node_id], key=lambda r: r.job_id)
             targets = [min(r.target_rate, r.speed_cap) for r in members]
-            grants = water_fill(targets, float(state.cpu[i]))
+            grants = water_fill(targets, node.cpu)
             for request, grant in zip(members, grants):
-                state.mem[i] -= request.memory_mb
-                state.cpu[i] -= grant
+                node.mem -= request.memory_mb
+                node.cpu -= grant
                 self._place_job(solution, request, node_id, grant)
         # Memory feasibility is inherited from the previous (validated)
         # placement; a defensive check still guards solver-input bugs.
-        violations = np.flatnonzero(state.mem < -1e-6)
-        if violations.size:
-            bad = int(violations[0])  # first in id order, like the seed's scan
-            raise ConfigurationError(
-                f"node {state.ids[bad]}: retained jobs exceed memory "
-                f"({state.mem[bad]:.1f} MB)"
-            )
+        for node_id, node in state.items():
+            if node.mem < -1e-6:
+                raise ConfigurationError(
+                    f"node {node_id}: retained jobs exceed memory ({node.mem:.1f} MB)"
+                )
 
     def _admit(
         self,
         runnable: list[JobRequest],
-        state: _ClusterState,
+        state: dict[str, _NodeState],
         solution: PlacementSolution,
         budget: list[Optional[int]],
     ) -> list[JobRequest]:
         """Phase 3: place waiting jobs, most urgent first.  Returns leftovers."""
         leftover: list[JobRequest] = []
-        # While no admission succeeds the node state is frozen, so one
-        # reduction over it bounds every later query: a request needing
-        # more memory than any minimally-fast node offers cannot fit.
-        # Admission runs over *hundreds* of requests that mostly fail on
-        # memory slots; this makes each such failure O(1) instead of a
-        # full node scan, with exactly the same outcome.
-        min_rate = self.config.min_job_rate
-        max_fit_mem: Optional[float] = None  # None = stale, recompute
         for request in runnable:
             if not self._budget_allows(budget, 1):
-                leftover.append(request)
-                continue
-            if max_fit_mem is None:
-                eligible = np.where(state.cpu >= min_rate, state.mem, -np.inf)
-                max_fit_mem = float(eligible.max()) if eligible.size else -np.inf
-            if (
-                request.memory_mb > max_fit_mem
-                or min(request.target_rate, request.speed_cap) < min_rate
-            ):
-                # _best_node_for would scan and return None: no node has
-                # both the memory and a grant reaching min_job_rate.
                 leftover.append(request)
                 continue
             node_id = self._best_node_for(request, state)
             if node_id is None:
                 leftover.append(request)
                 continue
-            max_fit_mem = None  # placement below mutates the state
-            i = state.pos[node_id]
-            grant = min(request.target_rate, request.speed_cap, float(state.cpu[i]))
-            state.mem[i] -= request.memory_mb
-            state.cpu[i] -= grant
+            node = state[node_id]
+            grant = min(request.target_rate, request.speed_cap, node.cpu)
+            node.mem -= request.memory_mb
+            node.cpu -= grant
             self._place_job(solution, request, node_id, grant)
             self._spend(budget, 1)
             solution.changes += 1
@@ -339,43 +257,38 @@ class PlacementSolver:
         self,
         leftover: list[JobRequest],
         running: list[JobRequest],
-        state: _ClusterState,
+        state: dict[str, _NodeState],
         solution: PlacementSolution,
         budget: list[Optional[int]],
     ) -> list[JobRequest]:
         """Phase 4: displace clearly less urgent running jobs."""
         still_unplaced: list[JobRequest] = []
-        if not leftover:
-            return still_unplaced
         # Only jobs retained this cycle (not freshly admitted) are victims.
-        # The index is built once and maintained across requests (the
-        # seed rebuilt the candidate list per request and scanned it in
-        # full: O(requests x running)).
-        victims = self._eviction.victim_index(
-            [r for r in running if r.job_id in solution.job_rates]
-        )
+        evictable = {
+            r.job_id: r for r in running if r.job_id in solution.job_rates
+        }
         evictions = 0
         for request in leftover:
             if evictions >= self.config.max_evictions:
                 still_unplaced.append(request)
                 continue
-            victim = victims.pick(request)
+            victim = self._eviction.pick_victim(request, list(evictable.values()))
             if victim is None or not self._budget_allows(budget, 2):
                 still_unplaced.append(request)
                 continue
             victim_node = victim.current_node
             assert victim_node is not None
-            i = state.pos[victim_node]
+            node = state[victim_node]
             # Undo the victim's placement.
-            state.mem[i] += victim.memory_mb
-            state.cpu[i] += solution.job_rates.pop(victim.job_id)
+            node.mem += victim.memory_mb
+            node.cpu += solution.job_rates.pop(victim.job_id)
             solution.placement.remove(victim.vm_id)
             solution.evicted_jobs.append(victim.job_id)
-            victims.discard(victim)
+            del evictable[victim.job_id]
             # Place the more urgent job in the freed slot.
-            grant = min(request.target_rate, request.speed_cap, float(state.cpu[i]))
-            state.mem[i] -= request.memory_mb
-            state.cpu[i] -= grant
+            grant = min(request.target_rate, request.speed_cap, node.cpu)
+            node.mem -= request.memory_mb
+            node.cpu -= grant
             self._place_job(solution, request, victim_node, grant)
             self._spend(budget, 2)
             solution.changes += 2
@@ -385,7 +298,7 @@ class PlacementSolver:
     def _rebalance(
         self,
         running: list[JobRequest],
-        state: _ClusterState,
+        state: dict[str, _NodeState],
         solution: PlacementSolution,
         budget: list[Optional[int]],
     ) -> None:
@@ -411,14 +324,14 @@ class PlacementSolver:
             dest = self._node_with_room(request, state, need_cpu=target)
             if dest is None or dest == request.current_node:
                 continue
-            src = state.pos[request.current_node]  # type: ignore[arg-type]
-            state.mem[src] += request.memory_mb
-            state.cpu[src] += solution.job_rates.pop(request.job_id)
+            src = state[request.current_node]  # type: ignore[index]
+            src.mem += request.memory_mb
+            src.cpu += solution.job_rates.pop(request.job_id)
             solution.placement.remove(request.vm_id)
-            i = state.pos[dest]
-            grant = min(target, float(state.cpu[i]))
-            state.mem[i] -= request.memory_mb
-            state.cpu[i] -= grant
+            node = state[dest]
+            grant = min(target, node.cpu)
+            node.mem -= request.memory_mb
+            node.cpu -= grant
             self._place_job(solution, request, dest, grant)
             solution.migrated_jobs.append(request.job_id)
             self._spend(budget, 1)
@@ -428,7 +341,7 @@ class PlacementSolver:
     def _boost_jobs(
         self,
         jobs: Sequence[JobRequest],
-        state: _ClusterState,
+        state: dict[str, _NodeState],
         solution: PlacementSolution,
         lr_target: Optional[Mhz],
     ) -> None:
@@ -446,9 +359,10 @@ class PlacementSolver:
             return
         caps = {r.vm_id: r.speed_cap for r in jobs}
         job_ids = {r.vm_id: r.job_id for r in jobs}
-        for i, node_id in enumerate(state.ids):
+        for node_id in sorted(state):
             if room <= _MHZ_EPS:
                 break
+            node = state[node_id]
             entries = sorted(
                 (
                     e
@@ -459,19 +373,10 @@ class PlacementSolver:
             )
             if not entries:
                 continue
-            if len(entries) >= _WATER_FILL_VECTOR_MIN:
-                cap_arr = np.fromiter(
-                    (caps[e.vm_id] for e in entries), dtype=float, count=len(entries)
-                )
-                cpu_arr = np.fromiter(
-                    (e.cpu_mhz for e in entries), dtype=float, count=len(entries)
-                )
-                headroom: Sequence[float] = np.maximum(cap_arr - cpu_arr, 0.0)
-            else:
-                headroom = [max(caps[e.vm_id] - e.cpu_mhz, 0.0) for e in entries]
+            headroom = [max(caps[e.vm_id] - e.cpu_mhz, 0.0) for e in entries]
             # Residuals can carry -1e-14-scale float dust after repeated
             # subtraction; clamp before sharing.
-            budget_here = max(min(float(state.cpu[i]), room), 0.0)
+            budget_here = max(min(node.cpu, room), 0.0)
             extra = water_fill(headroom, budget_here)
             for entry, boost in zip(entries, extra):
                 if boost <= _MHZ_EPS:
@@ -479,13 +384,13 @@ class PlacementSolver:
                 new_grant = entry.cpu_mhz + boost
                 solution.placement.update_cpu(entry.vm_id, new_grant)
                 solution.job_rates[job_ids[entry.vm_id]] = new_grant
-                state.cpu[i] -= boost
+                node.cpu -= boost
                 room -= boost
 
     def _place_web(
         self,
         apps: Sequence[AppRequest],
-        state: _ClusterState,
+        state: dict[str, _NodeState],
         solution: PlacementSolution,
         budget: list[Optional[int]],
     ) -> None:
@@ -499,42 +404,36 @@ class PlacementSolver:
             if instance_nodes:
                 fair = remaining / len(instance_nodes)
                 for node_id in instance_nodes:
-                    i = state.pos[node_id]
-                    give = min(float(state.cpu[i]), fair, remaining)
+                    give = min(state[node_id].cpu, fair, remaining)
                     grants[node_id] = give
-                    state.cpu[i] -= give
+                    state[node_id].cpu -= give
                     remaining -= give
-                for node_id in sorted(
-                    instance_nodes, key=lambda n: -float(state.cpu[state.pos[n]])
-                ):
+                for node_id in sorted(instance_nodes, key=lambda n: -state[n].cpu):
                     if remaining <= _MHZ_EPS:
                         break
-                    i = state.pos[node_id]
-                    give = min(float(state.cpu[i]), remaining)
+                    give = min(state[node_id].cpu, remaining)
                     grants[node_id] += give
-                    state.cpu[i] -= give
+                    state[node_id].cpu -= give
                     remaining -= give
 
             # Start new instances while a meaningful share is unplaced.
-            # Candidate order (most free CPU first, ids break ties) comes
-            # from one stable argsort instead of a keyed Python sort.
             threshold = app.target_allocation * self.config.web_start_threshold
             count = len(instance_nodes)
-            order = np.argsort(-state.cpu, kind="stable")
-            candidates = [
-                state.ids[j] for j in order if state.ids[j] not in app.current_nodes
-            ]
+            candidates = sorted(
+                (n for n in state if n not in app.current_nodes),
+                key=lambda n: (-state[n].cpu, n),
+            )
             for node_id in candidates:
                 if remaining <= max(threshold, _MHZ_EPS) or count >= app.max_instances:
                     break
-                i = state.pos[node_id]
-                if state.mem[i] < app.instance_memory_mb or state.cpu[i] <= _MHZ_EPS:
+                node = state[node_id]
+                if node.mem < app.instance_memory_mb or node.cpu <= _MHZ_EPS:
                     continue
                 if not self._budget_allows(budget, 1):
                     break
-                give = min(float(state.cpu[i]), remaining)
-                state.mem[i] -= app.instance_memory_mb
-                state.cpu[i] -= give
+                give = min(node.cpu, remaining)
+                node.mem -= app.instance_memory_mb
+                node.cpu -= give
                 grants[node_id] = give
                 solution.started_instances.append((app.app_id, node_id))
                 self._spend(budget, 1)
@@ -552,7 +451,7 @@ class PlacementSolver:
                         if not self._budget_allows(budget, 1):
                             break
                         grants.pop(node_id, None)
-                        state.mem[state.pos[node_id]] += app.instance_memory_mb
+                        state[node_id].mem += app.instance_memory_mb
                         solution.stopped_instances.append((app.app_id, node_id))
                         self._spend(budget, 1)
                         solution.changes += 1
@@ -582,7 +481,7 @@ class PlacementSolver:
     def _place_job(
         solution: PlacementSolution, request: JobRequest, node_id: str, grant: Mhz
     ) -> None:
-        grant = float(max(grant, 0.0))
+        grant = max(grant, 0.0)
         solution.placement.add(
             PlacementEntry(
                 vm_id=request.vm_id,
@@ -595,40 +494,34 @@ class PlacementSolver:
         solution.job_rates[request.job_id] = grant
 
     def _best_node_for(
-        self, request: JobRequest, state: _ClusterState
+        self, request: JobRequest, state: dict[str, _NodeState]
     ) -> Optional[str]:
-        """Node giving the job the most CPU (ties: less spare memory, id).
-
-        Vectorized lexicographic minimum of ``(-grant, mem, node_id)``:
-        maximize the achievable grant, then prefer the tightest memory
-        fit, then the smallest id (node order is id-sorted, so "first
-        index" is the id tie-break).  Identical to the seed's scan.
-        """
+        """Node giving the job the most CPU (ties: less spare memory, id)."""
+        best: Optional[str] = None
+        best_key: tuple[float, float, str] | None = None
         want = min(request.target_rate, request.speed_cap)
-        grant = np.minimum(state.cpu, want)
-        ok = (state.mem >= request.memory_mb) & (grant >= self.config.min_job_rate)
-        if not ok.any():
-            return None
-        masked = np.where(ok, grant, -np.inf)
-        best = masked.max()
-        mem_among_best = np.where(masked == best, state.mem, np.inf)
-        return state.ids[int(np.argmin(mem_among_best))]
+        for node_id in sorted(state):
+            node = state[node_id]
+            if node.mem < request.memory_mb:
+                continue
+            grant = min(want, node.cpu)
+            if grant < self.config.min_job_rate:
+                continue
+            key = (-grant, node.mem, node_id)
+            if best_key is None or key < best_key:
+                best, best_key = node_id, key
+        return best
 
     @staticmethod
     def _node_with_room(
-        request: JobRequest, state: _ClusterState, need_cpu: Mhz
+        request: JobRequest, state: dict[str, _NodeState], need_cpu: Mhz
     ) -> Optional[str]:
-        """A node that can host the job at its full target, or ``None``.
-
-        Vectorized first-match of the seed's ``(-cpu, id)`` scan order:
-        the first index attaining the maximal free CPU among feasible
-        nodes (``argmax`` returns the earliest, i.e. smallest id).
-        """
-        ok = (state.mem >= request.memory_mb) & (state.cpu >= need_cpu)
-        if not ok.any():
-            return None
-        masked = np.where(ok, state.cpu, -np.inf)
-        return state.ids[int(np.argmax(masked))]
+        """A node that can host the job at its full target, or ``None``."""
+        for node_id in sorted(state, key=lambda n: (-state[n].cpu, n)):
+            node = state[node_id]
+            if node.mem >= request.memory_mb and node.cpu >= need_cpu:
+                return node_id
+        return None
 
     @staticmethod
     def _budget_allows(budget: list[Optional[int]], cost: int) -> bool:

@@ -94,3 +94,51 @@ class TestEvictionPolicy:
     def test_negative_margin_rejected(self):
         with pytest.raises(ConfigurationError):
             EvictionPolicy(margin=-0.1)
+
+
+class TestVictimIndex:
+    """The vectorized index must answer exactly like pick_victim."""
+
+    def test_matches_pick_victim_on_random_sets(self):
+        import numpy as np
+
+        from repro.core.job_scheduler import EvictionPolicy
+
+        rng = np.random.default_rng(11)
+        for _ in range(50):
+            policy = EvictionPolicy(
+                margin=float(rng.choice([0.0, 0.25, 0.6])),
+                protect_completion=float(rng.choice([0.0, 1800.0])),
+            )
+            running = [
+                req(
+                    f"r{i}",
+                    float(rng.uniform(0, 3000)),
+                    submit=float(rng.integers(0, 3)),
+                    mem=float(rng.choice([400.0, 1200.0, 2000.0])),
+                )
+                for i in range(int(rng.integers(0, 12)))
+            ]
+            index = policy.victim_index(running)
+            for j in range(4):
+                waiting = req(
+                    f"w{j}",
+                    float(rng.uniform(0, 4000)),
+                    mem=float(rng.choice([400.0, 1200.0])),
+                )
+                assert index.pick(waiting) == policy.pick_victim(waiting, running)
+
+    def test_discard_removes_candidate(self):
+        from repro.core.job_scheduler import EvictionPolicy
+
+        policy = EvictionPolicy(margin=0.0, protect_completion=0.0)
+        running = [req("r1", 100.0), req("r2", 200.0)]
+        index = policy.victim_index(running)
+        waiting = req("w", 1000.0)
+        first = index.pick(waiting)
+        assert first is not None and first.job_id == "r1"
+        index.discard(first)
+        second = index.pick(waiting)
+        assert second is not None and second.job_id == "r2"
+        index.discard(second)
+        assert index.pick(waiting) is None

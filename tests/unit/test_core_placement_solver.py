@@ -315,3 +315,45 @@ class TestFeasibilityAndDeterminism:
         assert {e.vm_id: (e.node_id, e.cpu_mhz) for e in a.placement} == {
             e.vm_id: (e.node_id, e.cpu_mhz) for e in b.placement
         }
+
+
+class TestEvictionOrderRegression:
+    """Pins the eviction order of the maintained victim index.
+
+    The candidate list used to be rebuilt per request; the index must
+    preserve exactly the seed's pick order: least urgent eligible victim
+    first (ties by submit time then job id), updated as victims fall out.
+    """
+
+    def test_eviction_order_is_pinned(self):
+        # One node, three low-urgency runners, three urgent waiters, no
+        # spare memory: every admission must evict.
+        solver = PlacementSolver(SolverConfig(eviction_margin=0.0, max_evictions=3))
+        running = [
+            job("r-low", 100.0, submit=3.0, node="n0"),
+            job("r-mid", 200.0, submit=2.0, node="n0"),
+            job("r-high", 300.0, submit=1.0, node="n0"),
+        ]
+        waiting = [
+            job("w-a", 2000.0, submit=4.0),
+            job("w-b", 1500.0, submit=5.0),
+            job("w-c", 1000.0, submit=6.0),
+        ]
+        solution = solver.solve(nodes(1), [], running + waiting)
+        # Least urgent victims go first, strictly in urgency order.
+        assert solution.evicted_jobs == ["r-low", "r-mid", "r-high"]
+        assert set(solution.job_rates) == {"w-a", "w-b", "w-c"}
+
+    def test_eviction_order_ties_break_by_submit_then_id(self):
+        solver = PlacementSolver(SolverConfig(eviction_margin=0.0, max_evictions=2))
+        running = [
+            job("r-b", 100.0, submit=2.0, node="n0"),
+            job("r-a", 100.0, submit=2.0, node="n0"),  # same urgency+submit: id wins
+            job("r-c", 100.0, submit=1.0, node="n0"),  # earlier submit wins first
+        ]
+        waiting = [
+            job("w-a", 2000.0, submit=4.0),
+            job("w-b", 1500.0, submit=5.0),
+        ]
+        solution = solver.solve(nodes(1), [], running + waiting)
+        assert solution.evicted_jobs == ["r-c", "r-a"]

@@ -73,3 +73,24 @@ class TestSweeps:
             "tx_utility", "lr_utility", "min_utility", "utility_gap",
             "jobs_completed", "mean_tardiness", "disruptive_actions",
         } <= set(metrics)
+
+
+def _seeded_smoke_factory(value):
+    """Module-level scenario factory (picklable for worker processes)."""
+    return smoke_scenario(seed=int(value))
+
+
+class TestParallelSweeps:
+    def test_workers_match_serial_results(self):
+        grid = [7, 11]
+        serial = run_sweep("par", grid, _seeded_smoke_factory, default_metrics)
+        parallel = run_sweep(
+            "par", grid, _seeded_smoke_factory, default_metrics, workers=2
+        )
+        assert parallel.parameters() == serial.parameters()
+        for key in serial.points[0].metrics:
+            assert parallel.metric(key) == serial.metric(key)
+
+    def test_invalid_workers_rejected(self):
+        with pytest.raises(ValueError):
+            run_sweep("bad", [1], _seeded_smoke_factory, default_metrics, workers=0)

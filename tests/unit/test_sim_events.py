@@ -83,3 +83,62 @@ class TestCancellation:
         q.push(5.0, noop)
         head.cancel()
         assert q.peek_time() == 5.0
+
+
+class TestCompaction:
+    def test_mass_cancellation_compacts_heap(self):
+        q = EventQueue()
+        events = [q.push(float(i), noop) for i in range(1000)]
+        for event in events[:900]:
+            event.cancel()
+        # Cancelled events outnumber live ones, so the heap was rebuilt
+        # to hold (roughly) only the survivors.
+        assert len(q) == 100
+        assert len(q._heap) < 500
+        popped = [q.pop().time for _ in range(100)]
+        assert popped == [float(i) for i in range(900, 1000)]
+        assert q.pop() is None
+
+    def test_len_is_exact_under_interleaved_cancel(self):
+        q = EventQueue()
+        keep = q.push(2.0, noop)
+        victim = q.push(1.0, noop)
+        assert len(q) == 2
+        victim.cancel()
+        assert len(q) == 2 - 1  # exact immediately, no lazy cleanup needed
+        assert q.pop() is keep
+        assert len(q) == 0
+
+    def test_compaction_preserves_order_and_skips_fired(self):
+        q = EventQueue()
+        events = [q.push(float(i % 7), noop, order=i % 3) for i in range(256)]
+        for i, event in enumerate(events):
+            if i % 4:
+                event.cancel()
+        survivors = [e for i, e in enumerate(events) if i % 4 == 0]
+        expected = sorted(survivors, key=lambda e: (e.time, e.order, e.seq))
+        got = []
+        while (event := q.pop()) is not None:
+            got.append(event)
+        assert got == expected
+
+    def test_small_heaps_never_compact(self):
+        q = EventQueue()
+        events = [q.push(float(i), noop) for i in range(10)]
+        for event in events[:9]:
+            event.cancel()
+        assert len(q._heap) == 10  # below the threshold: lazily dropped only
+        assert len(q) == 1
+        assert q.pop() is events[9]
+
+    def test_cancel_after_pop_leaves_accounting_intact(self):
+        q = EventQueue()
+        first = q.push(1.0, noop)
+        second = q.push(2.0, noop)
+        popped = q.pop()
+        assert popped is first
+        # Legal until the action fires; must not disturb the queue.
+        popped.cancel()
+        assert len(q) == 1
+        assert q.pop() is second
+        assert len(q) == 0
