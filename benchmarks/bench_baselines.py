@@ -9,15 +9,8 @@ on the identical simulated substrate.
 
 import pytest
 
-from repro.baselines import (
-    EdfSharedPolicy,
-    FcfsSharedPolicy,
-    StaticPartitionPolicy,
-    TxPriorityPolicy,
-)
-from repro.experiments import comparison_table, run_scenario, scaled_paper_scenario
-
-BASELINES = (StaticPartitionPolicy, FcfsSharedPolicy, EdfSharedPolicy, TxPriorityPolicy)
+from repro.api import available_policies, run_experiment, scenario_spec
+from repro.experiments import comparison_table, run_scenario
 
 
 def min_utility(result) -> float:
@@ -31,18 +24,17 @@ def min_utility(result) -> float:
 
 @pytest.fixture(scope="module")
 def baseline_runs():
-    scenario = scaled_paper_scenario(scale=0.2, seed=42)
+    spec = scenario_spec("consolidation", scale=0.2, seed=42)
     return {
-        cls.policy_name: run_scenario(
-            scenario, lambda s, c=cls: c([w.spec for w in s.apps], s.controller)
-        )
-        for cls in BASELINES
+        name: run_experiment(spec, policy=name)
+        for name in available_policies()
+        if name != "utility"
     }
 
 
 def test_policy_comparison(benchmark, baseline_runs):
     """Benchmark the utility-driven run; compare against all baselines."""
-    scenario = scaled_paper_scenario(scale=0.2, seed=42)
+    scenario = scenario_spec("consolidation", scale=0.2, seed=42).materialize()
     ours = benchmark.pedantic(
         lambda: run_scenario(scenario), rounds=2, iterations=1, warmup_rounds=0
     )

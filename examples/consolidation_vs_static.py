@@ -1,12 +1,17 @@
 #!/usr/bin/env python
 """Dynamic utility-driven placement versus static policies.
 
-Runs the (scaled) paper scenario under five policies -- the paper's
-utility-driven controller and four baselines -- on the identical
-simulated substrate, and prints a side-by-side comparison.  The paper's
-claim to verify: every static/one-sided policy maximizes one workload's
-utility by sacrificing the other, while utility-driven placement
-maximizes the *minimum* utility.
+Runs the (scaled) paper scenario under every registered placement policy
+-- the paper's utility-driven controller and four baselines -- on the
+identical simulated substrate, and prints a side-by-side comparison.
+The paper's claim to verify: every static/one-sided policy maximizes one
+workload's utility by sacrificing the other, while utility-driven
+placement maximizes the *minimum* utility.
+
+Policies come from the registry (``repro.api.available_policies``), so a
+newly registered policy automatically joins the comparison; a single
+pairing runs from the shell as
+``python -m repro run consolidation --policy static-partition``.
 
 Usage::
 
@@ -15,13 +20,8 @@ Usage::
 
 import argparse
 
-from repro.baselines import (
-    EdfSharedPolicy,
-    FcfsSharedPolicy,
-    StaticPartitionPolicy,
-    TxPriorityPolicy,
-)
-from repro.experiments import comparison_table, run_scenario, scaled_paper_scenario
+from repro.api import available_policies, run_experiment, scenario_spec
+from repro.experiments import comparison_table
 
 
 def main() -> None:
@@ -30,28 +30,21 @@ def main() -> None:
     parser.add_argument("--seed", type=int, default=42)
     args = parser.parse_args()
 
-    scenario = scaled_paper_scenario(scale=args.scale, seed=args.seed)
+    spec = scenario_spec("consolidation", scale=args.scale, seed=args.seed)
+    scenario = spec.materialize()
     print(
         f"Comparing policies on {scenario.num_nodes} nodes, "
         f"{len(scenario.job_specs)} jobs, horizon {scenario.horizon:.0f} s...\n"
     )
 
-    results = {"utility-driven": run_scenario(scenario)}
-    for policy_cls in (
-        StaticPartitionPolicy,
-        FcfsSharedPolicy,
-        EdfSharedPolicy,
-        TxPriorityPolicy,
-    ):
-        factory = lambda s, cls=policy_cls: cls(  # noqa: E731 - tiny adapters
-            [w.spec for w in s.apps], s.controller
-        )
-        results[policy_cls.policy_name] = run_scenario(scenario, factory)
+    ordered = ["utility", *(p for p in available_policies() if p != "utility")]
+    results = {name: run_experiment(spec, policy=name) for name in ordered}
 
     print(comparison_table(results))
     print(
         "\nReading guide: each baseline maximizes one column by sacrificing\n"
-        "another; the utility-driven controller should win 'min utility'."
+        "another; the utility-driven controller ('utility') should win\n"
+        "'min utility'."
     )
 
 

@@ -7,31 +7,21 @@ control cycle the controller re-places everything on the surviving nodes
 -- jobs resume from checkpoints, web instances restart -- and the
 utilities converge back toward the equalized level.
 
+The failure schedule lives in the registered ``failure-recovery``
+scenario spec; the same run is ``python -m repro run failure-recovery``.
+
 Usage::
 
     python examples/failure_recovery.py
 """
 
-import dataclasses
-
 from repro.analysis import ascii_plot
-from repro.experiments import run_scenario, scaled_paper_scenario, summarize_run
-from repro.experiments.scenario import NodeFailure
+from repro.api import run_experiment
+from repro.experiments import summarize_run
 
 
 def main() -> None:
-    base = scaled_paper_scenario(scale=0.2, seed=3)
-    scenario = dataclasses.replace(
-        base,
-        name="failure-recovery",
-        horizon=40_000.0,
-        failures=(
-            NodeFailure(at=12_000.0, node_id="node001", restore_at=26_000.0),
-            NodeFailure(at=18_000.0, node_id="node003"),  # permanent loss
-        ),
-    )
-
-    result = run_scenario(scenario)
+    result = run_experiment("failure-recovery", seed=3)
 
     print(summarize_run(result))
     failures = int(result.recorder.counter("node_failures"))

@@ -18,8 +18,8 @@ Usage::
 
 import time
 
-from repro import run_scenario, smoke_scenario
-from repro.config import ControllerConfig, SolverConfig
+from repro.api import run_experiment
+from repro.config import SolverConfig
 from repro.core import JobRequest, MilpPlacementSolver, PlacementSolver
 from repro.cluster import NodeSpec
 from repro.experiments import summarize_run
@@ -62,14 +62,12 @@ def control_loop_demo() -> None:
     """The quickstart scenario under each backend."""
     print("=== full control loop (smoke scenario) per backend ===")
     for backend in ("greedy", "milp"):
-        scenario = smoke_scenario(seed=7).with_controller(
-            ControllerConfig(
-                control_cycle=300.0,
-                solver=SolverConfig(backend=backend),
-            )
-        )
         t0 = time.perf_counter()
-        result = run_scenario(scenario)
+        result = run_experiment(
+            "smoke",
+            seed=7,
+            overrides={"controller.solver.backend": backend},
+        )
         elapsed = time.perf_counter() - t0
         print(f"--- backend={backend!r} (wall time {elapsed:.2f} s)")
         print(summarize_run(result))

@@ -7,6 +7,10 @@ the end), a constant transactional workload, placement recomputed every
 600 s -- and renders both evaluation figures plus the automated shape
 validation.
 
+The scenario is the registry's ``paper`` entry (``python -m repro run
+paper`` runs it headless); this example adds the figure rendering and
+the automated shape validation on top.
+
 Usage::
 
     python examples/paper_experiment.py              # full 25-node run
@@ -17,6 +21,7 @@ Usage::
 import argparse
 from pathlib import Path
 
+from repro.api import scenario_spec
 from repro.experiments import (
     figure1_series,
     figure2_series,
@@ -35,7 +40,8 @@ def main() -> None:
     parser.add_argument("--csv", type=Path, default=None)
     args = parser.parse_args()
 
-    result, report = run_paper_experiment(scale=args.scale, seed=args.seed)
+    scenario = scenario_spec("paper", seed=args.seed, scale=args.scale).materialize()
+    result, report = run_paper_experiment(scenario=scenario)
 
     print(render_figure1(result))
     print()

@@ -6,23 +6,28 @@ application and a stream of batch jobs, lets the utility-driven placement
 controller manage them for a (simulated) 100 minutes, and prints what
 happened.  Runs in a couple of seconds.
 
+The scenario comes from the declarative registry (``repro.api``); the
+same experiment runs from the shell as ``python -m repro run smoke``.
+
 Usage::
 
     python examples/quickstart.py
 """
 
 from repro.analysis import ascii_plot
-from repro.experiments import run_scenario, smoke_scenario, summarize_run
+from repro.api import Experiment, scenario_spec
+from repro.experiments import summarize_run
 
 
 def main() -> None:
-    scenario = smoke_scenario(seed=7)
+    spec = scenario_spec("smoke", seed=7)
+    scenario = spec.materialize()
     print(
         f"Scenario {scenario.name!r}: {scenario.num_nodes} nodes, "
         f"{len(scenario.job_specs)} jobs, horizon {scenario.horizon:.0f} s\n"
     )
 
-    result = run_scenario(scenario)
+    result = Experiment.from_spec(spec).run()
 
     print(summarize_run(result))
     print()

@@ -9,55 +9,27 @@ same *utility*, but reaching equal utility requires running gold jobs
 much sooner and faster -- differentiation emerges from the goals alone,
 with no explicit priorities anywhere in the controller.
 
+The mixed gold/silver trace is declared in the registered
+``service-differentiation`` scenario spec; the same run is
+``python -m repro run service-differentiation``.
+
 Usage::
 
     python examples/service_differentiation.py
 """
 
-import dataclasses
-
 from repro.analysis import job_outcomes_by_class
-from repro.experiments import run_scenario, scaled_paper_scenario
+from repro.api import run_experiment
 from repro.experiments.report import format_table
-from repro.sim import RngRegistry
-from repro.workloads import JobTemplate, differentiated_job_trace
-
-GOLD = JobTemplate(
-    total_work=9_000.0 * 3000.0,
-    speed_cap_mhz=3000.0,
-    memory_mb=1200.0,
-    goal_factor=2.0,  # tight SLA: finish within 2x the fastest run
-    job_class="gold",
-    importance=1.0,
-)
-SILVER = JobTemplate(
-    total_work=9_000.0 * 3000.0,
-    speed_cap_mhz=3000.0,
-    memory_mb=1200.0,
-    goal_factor=6.0,  # loose SLA
-    job_class="silver",
-    importance=1.0,
-)
 
 
 def main() -> None:
-    base = scaled_paper_scenario(scale=0.2, seed=11)
-    rngs = RngRegistry(11)
-    trace = differentiated_job_trace(
-        rngs.stream("diff-jobs"),
-        templates=[(GOLD, 0.5), (SILVER, 0.5)],
-        count=60,
-        mean_interarrival=520.0,
-    )
-    scenario = dataclasses.replace(
-        base, name="service-differentiation", job_specs=tuple(trace)
-    )
-
-    result = run_scenario(scenario)
+    result = run_experiment("service-differentiation", seed=11)
+    horizon = result.scenario.horizon
 
     print("Per-class SLA outcomes under one equalized utility level:\n")
     rows = []
-    for cls, stats in job_outcomes_by_class(result.jobs, scenario.horizon).items():
+    for cls, stats in job_outcomes_by_class(result.jobs, horizon).items():
         rows.append(
             [
                 cls,

@@ -9,7 +9,15 @@ controller that equalizes workload satisfaction via hypothetical-utility
 prediction, CPU arbitration, and memory-constrained dynamic placement
 with suspend/resume/migrate control actions.
 
-Quickstart::
+Quickstart (the declarative facade, :mod:`repro.api`)::
+
+    from repro import run_experiment
+
+    result = run_experiment("smoke", policy="fcfs")
+    print(result.summary_metrics())
+
+or from a shell: ``python -m repro run smoke`` (see ``repro list``).
+Figure regeneration::
 
     from repro import run_paper_experiment, render_figure1
 
@@ -19,6 +27,7 @@ Quickstart::
 """
 
 from ._version import __version__
+from .api import Experiment, ScenarioSpec, run_experiment, scenario_spec
 from .config import ControllerConfig, NoiseConfig
 from .core.controller import UtilityDrivenController
 from .experiments.figures import (
@@ -38,6 +47,10 @@ from .experiments.scenario import (
 
 __all__ = [
     "__version__",
+    "Experiment",
+    "ScenarioSpec",
+    "run_experiment",
+    "scenario_spec",
     "ControllerConfig",
     "NoiseConfig",
     "UtilityDrivenController",

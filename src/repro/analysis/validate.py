@@ -90,11 +90,7 @@ def validate_paper_run(
     lr_alloc = rec.series("lr_allocation").resample(t)
     tx_demand = rec.series("tx_demand").resample(t)
     lr_demand = rec.series("lr_demand").resample(t)
-    capacity = (
-        result.scenario.num_nodes
-        * result.scenario.node_processors
-        * result.scenario.node_mhz
-    )
+    capacity = result.scenario.cluster_capacity
 
     checks: list[CheckResult] = []
 

@@ -1,0 +1,112 @@
+"""The experiment entry point.
+
+:class:`Experiment` joins the three registries -- scenarios
+(:mod:`repro.api.scenarios`), placement policies
+(:mod:`repro.baselines.registry`) and solver backends
+(:mod:`repro.core.backends`, reached through the spec's
+``controller.solver.backend`` field) -- into one declarative facade:
+
+    >>> from repro.api import Experiment
+    >>> result = Experiment.from_spec("smoke", policy="fcfs").run()
+    >>> result.summary_metrics()["cycles"] > 0
+    True
+
+``from_spec`` accepts a registered scenario name, a
+:class:`~repro.api.spec.ScenarioSpec`, a spec dict, or a path to a
+``.json``/``.toml`` spec file; the returned
+:class:`~repro.experiments.runner.ExperimentResult` exports its recorder
+series and summary metrics through ``to_json()`` / ``export_csv()``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Mapping, Optional, Union
+
+from ..baselines.registry import get_policy
+from ..experiments.runner import ExperimentResult, ExperimentRunner
+from ..experiments.scenario import Scenario
+from .scenarios import scenario_spec
+from .spec import ScenarioSpec, SpecValidationError
+
+#: Anything :meth:`Experiment.from_spec` can turn into a spec.
+SpecLike = Union[ScenarioSpec, Mapping, str, Path]
+
+
+def resolve_spec(source: SpecLike, **params) -> ScenarioSpec:
+    """Turn a name / spec / dict / file path into a :class:`ScenarioSpec`.
+
+    Strings are tried as registered scenario names first (``params`` are
+    passed to the builder), then as spec file paths when they look like
+    one (contain a path separator or a .json/.toml suffix).
+    """
+    is_name = isinstance(source, str) and not (
+        source.endswith((".json", ".toml")) or "/" in source
+    )
+    if params and not is_name:
+        raise SpecValidationError(
+            "builder parameters only apply to registered scenario names"
+        )
+    if is_name:
+        return scenario_spec(source, **params)
+    if isinstance(source, ScenarioSpec):
+        return source
+    if isinstance(source, Mapping):
+        return ScenarioSpec.from_dict(source)
+    if isinstance(source, (str, Path)):
+        return ScenarioSpec.load(source)
+    raise SpecValidationError(
+        f"cannot build a ScenarioSpec from {type(source).__name__}"
+    )
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """One scenario under one named policy, ready to run."""
+
+    spec: ScenarioSpec
+    policy: str = "utility"
+
+    @classmethod
+    def from_spec(
+        cls,
+        source: SpecLike,
+        *,
+        policy: str = "utility",
+        overrides: Optional[Mapping[str, object]] = None,
+        **params,
+    ) -> "Experiment":
+        """Build an experiment from any spec source.
+
+        ``overrides`` are dotted-path spec overrides (the CLI's
+        ``--set``); ``params`` are forwarded to the scenario builder when
+        ``source`` is a registered name (e.g. ``scale=0.2``).
+        """
+        spec = resolve_spec(source, **params)
+        if overrides:
+            spec = spec.with_overrides(overrides)
+        get_policy(policy)  # fail fast on unknown policy names
+        return cls(spec=spec, policy=policy)
+
+    def materialize(self) -> Scenario:
+        """The executable scenario this experiment will run."""
+        return self.spec.materialize()
+
+    def run(self) -> ExperimentResult:
+        """Execute the scenario under the named policy."""
+        scenario = self.spec.materialize()
+        return ExperimentRunner(scenario, get_policy(self.policy)).run()
+
+
+def run_experiment(
+    source: SpecLike,
+    *,
+    policy: str = "utility",
+    overrides: Optional[Mapping[str, object]] = None,
+    **params,
+) -> ExperimentResult:
+    """One-call convenience: ``Experiment.from_spec(...).run()``."""
+    return Experiment.from_spec(
+        source, policy=policy, overrides=overrides, **params
+    ).run()

@@ -1,0 +1,353 @@
+"""Named scenario registry.
+
+Every evaluation scenario of the repository -- the paper's Figure 1/2
+run, the fast smoke test, failure injection, service differentiation,
+the consolidation-vs-static comparison bed, a heterogeneous cluster and
+deep overload -- is registered here as a *builder* returning a
+:class:`~repro.api.spec.ScenarioSpec`, so experiments are reproducible
+from a name alone:
+
+    >>> from repro.api import scenario_spec
+    >>> spec = scenario_spec("smoke")
+    >>> spec.materialize().num_nodes
+    4
+
+Builders accept keyword parameters (``seed`` everywhere, ``scale`` where
+meaningful) and the resulting spec can be further adjusted with
+:meth:`ScenarioSpec.with_overrides`.  The numeric constants mirror the
+imperative builders in :mod:`repro.experiments.scenario`, which remain
+the source of truth for the paper's parameters (parity is enforced by
+``tests/unit/test_api_spec.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..cluster.topology import NodeClass
+from ..config import ControllerConfig, NoiseConfig
+from ..errors import ConfigurationError
+from ..experiments.scenario import (
+    PAPER_RT_GOAL,
+    PAPER_SERVICE_CYCLES,
+    PAPER_SESSIONS,
+    PAPER_THINK_TIME,
+    NodeFailure,
+)
+from ..workloads.tracegen import PAPER_JOB_TEMPLATE, JobTemplate
+from .spec import (
+    AppSpec,
+    ConstantProfileSpec,
+    JobTraceSpec,
+    NoisyProfileSpec,
+    ProfileSpec,
+    ScenarioSpec,
+    TopologySpec,
+)
+
+#: Builds a scenario spec; keyword parameters tune the family.
+ScenarioBuilder = Callable[..., ScenarioSpec]
+
+_REGISTRY: dict[str, ScenarioBuilder] = {}
+
+
+def register_scenario(
+    name: str, builder: ScenarioBuilder, *, overwrite: bool = False
+) -> None:
+    """Register ``builder`` under ``name``.
+
+    Raises :class:`ConfigurationError` when ``name`` is empty or already
+    taken (unless ``overwrite=True``).
+    """
+    if not name:
+        raise ConfigurationError("scenario name must be non-empty")
+    if name in _REGISTRY and not overwrite:
+        raise ConfigurationError(f"scenario {name!r} is already registered")
+    _REGISTRY[name] = builder
+
+
+def get_scenario(name: str) -> ScenarioBuilder:
+    """The builder registered under ``name``.
+
+    Raises :class:`ConfigurationError` listing the registered names when
+    ``name`` is unknown (same error style as the backend and policy
+    registries).
+    """
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY)) or "<none>"
+        raise ConfigurationError(
+            f"unknown scenario {name!r} (registered: {known})"
+        ) from None
+
+
+def available_scenarios() -> tuple[str, ...]:
+    """Sorted names of all registered scenarios."""
+    return tuple(sorted(_REGISTRY))
+
+
+def scenario_spec(name: str, **params) -> ScenarioSpec:
+    """Build the spec registered under ``name`` with builder parameters."""
+    return get_scenario(name)(**params)
+
+
+# ----------------------------------------------------------------------
+# Shared pieces
+# ----------------------------------------------------------------------
+def _paper_app(
+    sessions: float = PAPER_SESSIONS,
+    noise_rel_std: float = 0.04,
+    noise_seed: int = 104729,
+    max_instances: int = 25,
+) -> AppSpec:
+    """Spec mirror of :func:`repro.experiments.scenario.paper_tx_app`."""
+    profile: ProfileSpec = ConstantProfileSpec(sessions)
+    if noise_rel_std > 0:
+        profile = NoisyProfileSpec(
+            base=profile, rel_std=noise_rel_std, interval=600.0, seed=noise_seed
+        )
+    return AppSpec(
+        app_id="webapp",
+        rt_goal=PAPER_RT_GOAL,
+        mean_service_cycles=PAPER_SERVICE_CYCLES,
+        request_cap_mhz=3000.0,
+        instance_memory_mb=400.0,
+        min_instances=1,
+        max_instances=max_instances,
+        model_kind="closed",
+        think_time=PAPER_THINK_TIME,
+        profile=profile,
+    )
+
+
+def _scaled_paper_parts(scale: float) -> tuple[int, float, JobTraceSpec]:
+    """(num_nodes, node_ratio, job trace) of the scaled paper scenario."""
+    if not 0 < scale <= 1:
+        raise ConfigurationError("scale must be in (0, 1]")
+    num_nodes = max(int(round(25 * scale)), 2)
+    node_ratio = num_nodes / 25.0
+    jobs = JobTraceSpec(
+        kind="paper",
+        count=max(int(round(800 * node_ratio)), 10),
+        mean_interarrival=260.0 / node_ratio,
+        rate_drop_time=60_000.0,
+    )
+    return num_nodes, node_ratio, jobs
+
+
+# ----------------------------------------------------------------------
+# Registered scenarios
+# ----------------------------------------------------------------------
+def paper(seed: int = 42, scale: float = 1.0) -> ScenarioSpec:
+    """The paper's evaluation scenario (Figures 1-2), optionally scaled."""
+    if scale >= 1.0:
+        return ScenarioSpec(
+            name="paper-fig1-fig2",
+            seed=seed,
+            horizon=70_000.0,
+            topology=TopologySpec(num_nodes=25),
+            apps=(_paper_app(max_instances=25),),
+            jobs=JobTraceSpec(
+                kind="paper",
+                count=800,
+                mean_interarrival=260.0,
+                rate_drop_time=60_000.0,
+            ),
+        )
+    num_nodes, node_ratio, jobs = _scaled_paper_parts(scale)
+    return ScenarioSpec(
+        name=f"paper-scaled-{scale:g}",
+        seed=seed,
+        horizon=70_000.0,
+        topology=TopologySpec(num_nodes=num_nodes),
+        apps=(
+            _paper_app(
+                sessions=PAPER_SESSIONS * node_ratio, max_instances=num_nodes
+            ),
+        ),
+        jobs=jobs,
+    )
+
+
+def smoke(seed: int = 7) -> ScenarioSpec:
+    """Spec mirror of :func:`repro.experiments.scenario.smoke_scenario`."""
+    return ScenarioSpec(
+        name="smoke",
+        seed=seed,
+        horizon=6_000.0,
+        topology=TopologySpec(num_nodes=4),
+        apps=(_paper_app(sessions=40.0, noise_rel_std=0.0, max_instances=4),),
+        jobs=JobTraceSpec(
+            kind="paper",
+            count=20,
+            mean_interarrival=300.0,
+            rate_drop_time=4_000.0,
+            template=JobTemplate(
+                total_work=1_200.0 * 3000.0,
+                speed_cap_mhz=3000.0,
+                memory_mb=1200.0,
+                goal_factor=4.0,
+            ),
+        ),
+        controller=ControllerConfig(control_cycle=300.0),
+        noise=NoiseConfig(0.0, 0.0, 0.0),
+    )
+
+
+def failure_recovery(seed: int = 3) -> ScenarioSpec:
+    """Two of five nodes fail mid-run; one later recovers."""
+    num_nodes, node_ratio, jobs = _scaled_paper_parts(0.2)
+    return ScenarioSpec(
+        name="failure-recovery",
+        seed=seed,
+        horizon=40_000.0,
+        topology=TopologySpec(num_nodes=num_nodes),
+        apps=(
+            _paper_app(
+                sessions=PAPER_SESSIONS * node_ratio, max_instances=num_nodes
+            ),
+        ),
+        jobs=jobs,
+        failures=(
+            NodeFailure(at=12_000.0, node_id="node001", restore_at=26_000.0),
+            NodeFailure(at=18_000.0, node_id="node003"),  # permanent loss
+        ),
+    )
+
+
+#: Differentiated job classes: tight (gold) vs loose (silver) SLA goals.
+GOLD_TEMPLATE = JobTemplate(
+    total_work=9_000.0 * 3000.0,
+    speed_cap_mhz=3000.0,
+    memory_mb=1200.0,
+    goal_factor=2.0,
+    job_class="gold",
+    importance=1.0,
+)
+SILVER_TEMPLATE = JobTemplate(
+    total_work=9_000.0 * 3000.0,
+    speed_cap_mhz=3000.0,
+    memory_mb=1200.0,
+    goal_factor=6.0,
+    job_class="silver",
+    importance=1.0,
+)
+
+
+def service_differentiation(seed: int = 11) -> ScenarioSpec:
+    """Two job classes with different completion-time goals, one cluster."""
+    num_nodes, node_ratio, _ = _scaled_paper_parts(0.2)
+    return ScenarioSpec(
+        name="service-differentiation",
+        seed=seed,
+        horizon=70_000.0,
+        topology=TopologySpec(num_nodes=num_nodes),
+        apps=(
+            _paper_app(
+                sessions=PAPER_SESSIONS * node_ratio, max_instances=num_nodes
+            ),
+        ),
+        jobs=JobTraceSpec(
+            kind="differentiated",
+            count=60,
+            mean_interarrival=520.0,
+            templates=((GOLD_TEMPLATE, 0.5), (SILVER_TEMPLATE, 0.5)),
+            stream="diff-jobs",
+        ),
+    )
+
+
+def consolidation(seed: int = 42, scale: float = 0.2) -> ScenarioSpec:
+    """The policy-comparison bed: the scaled paper scenario, run once per
+    registered policy (utility-driven vs the static/one-sided baselines)."""
+    num_nodes, node_ratio, jobs = _scaled_paper_parts(scale)
+    return ScenarioSpec(
+        name="consolidation",
+        seed=seed,
+        horizon=70_000.0,
+        topology=TopologySpec(num_nodes=num_nodes),
+        apps=(
+            _paper_app(
+                sessions=PAPER_SESSIONS * node_ratio, max_instances=num_nodes
+            ),
+        ),
+        jobs=jobs,
+    )
+
+
+def heterogeneous_cluster(seed: int = 21) -> ScenarioSpec:
+    """Mixed hardware generations: a modern rack plus a legacy rack.
+
+    The legacy nodes have less CPU (2 x 2000 MHz) and memory for only two
+    jobs, so the placement has to respect per-node shapes instead of a
+    uniform grid.  The transactional demand is sized to ~70% of the mixed
+    cluster's 48 GHz, mirroring the paper's contention level.
+    """
+    classes = (
+        NodeClass(
+            name="modern", count=3, processors=4,
+            mhz_per_processor=3000.0, memory_mb=4000.0,
+        ),
+        NodeClass(
+            name="legacy", count=3, processors=2,
+            mhz_per_processor=2000.0, memory_mb=2400.0,
+        ),
+    )
+    capacity = sum(cls.cpu_capacity for cls in classes)
+    capacity_ratio = capacity / 300_000.0  # vs the paper's 300 GHz cluster
+    return ScenarioSpec(
+        name="heterogeneous-cluster",
+        seed=seed,
+        horizon=40_000.0,
+        topology=TopologySpec(classes=classes),
+        apps=(
+            _paper_app(
+                sessions=PAPER_SESSIONS * capacity_ratio,
+                max_instances=sum(cls.count for cls in classes),
+            ),
+        ),
+        jobs=JobTraceSpec(
+            kind="paper",
+            count=30,
+            mean_interarrival=1_600.0,
+            rate_drop_time=30_000.0,
+        ),
+    )
+
+
+def overload(seed: int = 5) -> ScenarioSpec:
+    """Deep aggregate overload: offered demand well above capacity.
+
+    Jobs arrive at roughly double the scaled paper rate, so offered
+    long-running load (~69 GHz) plus the transactional demand (~42 GHz)
+    far exceeds the 60 GHz cluster; exercises eviction churn bounds,
+    completion protection and starvation avoidance.
+    """
+    num_nodes, node_ratio, _ = _scaled_paper_parts(0.2)
+    return ScenarioSpec(
+        name="overload",
+        seed=seed,
+        horizon=30_000.0,
+        topology=TopologySpec(num_nodes=num_nodes),
+        apps=(
+            _paper_app(
+                sessions=PAPER_SESSIONS * node_ratio, max_instances=num_nodes
+            ),
+        ),
+        jobs=JobTraceSpec(
+            kind="paper",
+            count=80,
+            mean_interarrival=650.0,
+            rate_drop_time=24_000.0,
+        ),
+    )
+
+
+register_scenario("paper", paper)
+register_scenario("smoke", smoke)
+register_scenario("failure-recovery", failure_recovery)
+register_scenario("service-differentiation", service_differentiation)
+register_scenario("consolidation", consolidation)
+register_scenario("heterogeneous-cluster", heterogeneous_cluster)
+register_scenario("overload", overload)

@@ -1,0 +1,951 @@
+"""Serializable scenario specifications.
+
+A :class:`ScenarioSpec` is the declarative counterpart of the
+materialized :class:`~repro.experiments.scenario.Scenario`: pure data --
+topology (homogeneous node counts or heterogeneous
+:class:`~repro.cluster.topology.NodeClass` lists), transactional
+applications with their intensity profiles, the job-trace generator,
+controller/solver configuration, action costs, measurement noise,
+failure injections, horizon and seed -- that round-trips losslessly
+through ``to_dict``/``from_dict``, JSON and TOML, and materializes into
+today's :class:`Scenario` with :meth:`ScenarioSpec.materialize`.
+
+Specs are the unit the scenario registry (:mod:`repro.api.scenarios`),
+the :class:`~repro.api.experiment.Experiment` facade and the
+``python -m repro`` CLI trade in; validation failures raise
+:class:`SpecValidationError` naming the offending field by its dotted
+path (``apps[0].rt_goal``, ``topology.classes[1].count`` ...).
+
+Serialized layout (schema tag ``repro.scenario/v1``)::
+
+    {
+      "schema": "repro.scenario/v1",
+      "name": "smoke", "seed": 7, "horizon": 6000.0,
+      "topology": {"num_nodes": 4, "processors": 4, ...}      # homogeneous
+                | {"classes": [{"name", "count", ...}, ...]}, # heterogeneous
+      "apps": [{"app_id", "rt_goal", ..., "profile": {"kind": ...}}, ...],
+      "jobs": {"kind": "paper" | "uniform" | "differentiated" | "none", ...},
+      "controller": {..., "solver": {...}},
+      "costs": {...}, "noise": {...},
+      "failures": [{"at", "node_id", "restore_at"?}, ...]
+    }
+
+Optional fields holding ``None`` (e.g. a failure without ``restore_at``,
+an unlimited ``change_budget``) are omitted on serialization so the same
+canonical form is expressible in TOML, which has no null.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Mapping, Optional, Sequence, Union
+
+from ..cluster.actions import ActionCosts
+from ..cluster.topology import NodeClass
+from ..config import ControllerConfig, NoiseConfig, SolverConfig
+from ..errors import ConfigurationError
+from ..experiments.scenario import AppWorkload, NodeFailure, Scenario
+from ..sim.rng import RngRegistry
+from ..workloads.jobs import JobSpec
+from ..workloads.profiles import (
+    ConstantProfile,
+    DiurnalProfile,
+    IntensityProfile,
+    NoisyProfile,
+    StepProfile,
+)
+from ..workloads.tracegen import (
+    PAPER_JOB_TEMPLATE,
+    JobTemplate,
+    differentiated_job_trace,
+    paper_job_trace,
+    uniform_job_trace,
+)
+from ..workloads.transactional import TransactionalAppSpec
+
+#: Version tag of the serialized scenario layout (see module docstring).
+SCENARIO_SCHEMA = "repro.scenario/v1"
+
+
+class SpecValidationError(ConfigurationError):
+    """A scenario spec payload is invalid; the message names the field."""
+
+
+# ----------------------------------------------------------------------
+# Validation helpers: every failure names the offending field path.
+# ----------------------------------------------------------------------
+_MISSING = object()
+
+
+def _expect_mapping(value: object, path: str) -> dict:
+    if not isinstance(value, Mapping):
+        raise SpecValidationError(
+            f"{path}: expected a table/object, got {type(value).__name__}"
+        )
+    return dict(value)
+
+
+def _pop(data: dict, key: str, path: str, default: object = _MISSING) -> object:
+    if key in data:
+        return data.pop(key)
+    if default is _MISSING:
+        raise SpecValidationError(f"{path}.{key}: required field is missing")
+    return default
+
+
+def _no_unknown(data: dict, path: str) -> None:
+    if data:
+        raise SpecValidationError(
+            f"{path}: unknown field(s): {', '.join(sorted(data))}"
+        )
+
+
+def _as_float(value: object, path: str) -> float:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise SpecValidationError(
+            f"{path}: expected a number, got {type(value).__name__}"
+        )
+    return float(value)
+
+
+def _as_int(value: object, path: str) -> int:
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise SpecValidationError(
+            f"{path}: expected an integer, got {type(value).__name__}"
+        )
+    return int(value)
+
+
+def _as_str(value: object, path: str) -> str:
+    if not isinstance(value, str):
+        raise SpecValidationError(
+            f"{path}: expected a string, got {type(value).__name__}"
+        )
+    return value
+
+
+def _as_list(value: object, path: str) -> list:
+    if isinstance(value, (str, bytes, Mapping)) or not isinstance(value, Sequence):
+        raise SpecValidationError(
+            f"{path}: expected a list, got {type(value).__name__}"
+        )
+    return list(value)
+
+
+def _strip_nones(data: object) -> object:
+    """Recursively drop ``None`` values (TOML has no null)."""
+    if isinstance(data, dict):
+        return {k: _strip_nones(v) for k, v in data.items() if v is not None}
+    if isinstance(data, (list, tuple)):
+        return [_strip_nones(v) for v in data]
+    return data
+
+
+def _build_config(cls, data: object, path: str, *, defaults: Optional[dict] = None):
+    """Build a frozen config dataclass from a mapping, with field errors.
+
+    Unknown keys are rejected by name; ``__post_init__`` validation
+    failures are re-raised with the spec path prepended, so errors read
+    ``controller.solver: change_penalty_mhz must be non-negative``.
+    """
+    data = _expect_mapping(data, path)
+    allowed = {f.name for f in dataclasses.fields(cls)}
+    unknown = set(data) - allowed
+    if unknown:
+        raise SpecValidationError(
+            f"{path}: unknown field(s): {', '.join(sorted(unknown))}"
+        )
+    kwargs = dict(defaults or {})
+    kwargs.update(data)
+    try:
+        return cls(**kwargs)
+    except ConfigurationError as exc:
+        raise SpecValidationError(f"{path}: {exc}") from None
+    except TypeError as exc:
+        raise SpecValidationError(f"{path}: {exc}") from None
+
+
+def _config_to_dict(config) -> dict:
+    """Frozen config dataclass -> plain dict, ``None`` values omitted."""
+    return _strip_nones(dataclasses.asdict(config))
+
+
+# ----------------------------------------------------------------------
+# Intensity-profile specs
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ConstantProfileSpec:
+    """Time-invariant intensity (the paper's transactional shape)."""
+
+    value: float
+
+    def build(self) -> IntensityProfile:
+        return ConstantProfile(self.value)
+
+    def to_dict(self) -> dict:
+        return {"kind": "constant", "value": self.value}
+
+
+@dataclass(frozen=True)
+class StepProfileSpec:
+    """Piecewise-constant intensity: ``(start_time, rate)`` breakpoints."""
+
+    steps: tuple[tuple[float, float], ...]
+
+    def build(self) -> IntensityProfile:
+        return StepProfile(list(self.steps))
+
+    def to_dict(self) -> dict:
+        return {"kind": "step", "steps": [[t, r] for t, r in self.steps]}
+
+
+@dataclass(frozen=True)
+class DiurnalProfileSpec:
+    """Sinusoidal day/night intensity pattern."""
+
+    base: float
+    amplitude: float
+    period: float = 86_400.0
+    phase: float = 0.0
+
+    def build(self) -> IntensityProfile:
+        return DiurnalProfile(self.base, self.amplitude, self.period, self.phase)
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": "diurnal",
+            "base": self.base,
+            "amplitude": self.amplitude,
+            "period": self.period,
+            "phase": self.phase,
+        }
+
+
+@dataclass(frozen=True)
+class NoisyProfileSpec:
+    """Multiplicative lognormal noise over an inner profile."""
+
+    base: "ProfileSpec"
+    rel_std: float
+    interval: float = 600.0
+    seed: int = 0
+
+    def build(self) -> IntensityProfile:
+        return NoisyProfile(
+            self.base.build(), rel_std=self.rel_std, interval=self.interval,
+            seed=self.seed,
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": "noisy",
+            "base": self.base.to_dict(),
+            "rel_std": self.rel_std,
+            "interval": self.interval,
+            "seed": self.seed,
+        }
+
+
+#: Any serializable intensity-profile description.
+ProfileSpec = Union[
+    ConstantProfileSpec, StepProfileSpec, DiurnalProfileSpec, NoisyProfileSpec
+]
+
+_PROFILE_KINDS = ("constant", "diurnal", "noisy", "step")
+
+
+def profile_spec_from_dict(data: object, path: str) -> ProfileSpec:
+    """Dispatch on ``kind`` and build the matching profile spec."""
+    data = _expect_mapping(data, path)
+    kind = _as_str(_pop(data, "kind", path), f"{path}.kind")
+    if kind == "constant":
+        value = _as_float(_pop(data, "value", path), f"{path}.value")
+        _no_unknown(data, path)
+        return ConstantProfileSpec(value)
+    if kind == "step":
+        raw = _as_list(_pop(data, "steps", path), f"{path}.steps")
+        steps = []
+        for i, pair in enumerate(raw):
+            pair = _as_list(pair, f"{path}.steps[{i}]")
+            if len(pair) != 2:
+                raise SpecValidationError(
+                    f"{path}.steps[{i}]: expected a [time, rate] pair"
+                )
+            steps.append(
+                (
+                    _as_float(pair[0], f"{path}.steps[{i}][0]"),
+                    _as_float(pair[1], f"{path}.steps[{i}][1]"),
+                )
+            )
+        _no_unknown(data, path)
+        return StepProfileSpec(tuple(steps))
+    if kind == "diurnal":
+        base = _as_float(_pop(data, "base", path), f"{path}.base")
+        amplitude = _as_float(_pop(data, "amplitude", path), f"{path}.amplitude")
+        period = _as_float(_pop(data, "period", path, 86_400.0), f"{path}.period")
+        phase = _as_float(_pop(data, "phase", path, 0.0), f"{path}.phase")
+        _no_unknown(data, path)
+        return DiurnalProfileSpec(base, amplitude, period, phase)
+    if kind == "noisy":
+        inner = profile_spec_from_dict(_pop(data, "base", path), f"{path}.base")
+        rel_std = _as_float(_pop(data, "rel_std", path), f"{path}.rel_std")
+        interval = _as_float(_pop(data, "interval", path, 600.0), f"{path}.interval")
+        seed = _as_int(_pop(data, "seed", path, 0), f"{path}.seed")
+        _no_unknown(data, path)
+        return NoisyProfileSpec(inner, rel_std, interval, seed)
+    raise SpecValidationError(
+        f"{path}.kind: unknown profile kind {kind!r} "
+        f"(known: {', '.join(_PROFILE_KINDS)})"
+    )
+
+
+# ----------------------------------------------------------------------
+# Topology
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class TopologySpec:
+    """Cluster topology: homogeneous node count or heterogeneous classes.
+
+    Exactly one form applies: either ``num_nodes`` identical nodes
+    described by the ``processors``/``mhz_per_processor``/``memory_mb``
+    fields, or a non-empty ``classes`` list of
+    :class:`~repro.cluster.topology.NodeClass` entries.
+    """
+
+    num_nodes: Optional[int] = None
+    processors: int = 4
+    mhz_per_processor: float = 3000.0
+    memory_mb: float = 4000.0
+    classes: tuple[NodeClass, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.classes:
+            if self.num_nodes is not None:
+                raise SpecValidationError(
+                    "topology: num_nodes and classes are mutually exclusive"
+                )
+        elif self.num_nodes is None:
+            raise SpecValidationError(
+                "topology: one of num_nodes or classes is required"
+            )
+        elif self.num_nodes < 1:
+            raise SpecValidationError("topology.num_nodes: must be >= 1")
+
+    @property
+    def total_nodes(self) -> int:
+        """Node count across both forms."""
+        if self.classes:
+            return sum(cls.count for cls in self.classes)
+        return int(self.num_nodes)  # type: ignore[arg-type]
+
+    @property
+    def cpu_capacity(self) -> float:
+        """Aggregate cluster CPU capacity in MHz."""
+        if self.classes:
+            return sum(cls.cpu_capacity for cls in self.classes)
+        return self.total_nodes * self.processors * self.mhz_per_processor
+
+    def to_dict(self) -> dict:
+        if self.classes:
+            return {"classes": [dataclasses.asdict(cls) for cls in self.classes]}
+        return {
+            "num_nodes": self.num_nodes,
+            "processors": self.processors,
+            "mhz_per_processor": self.mhz_per_processor,
+            "memory_mb": self.memory_mb,
+        }
+
+    @classmethod
+    def from_dict(cls, data: object, path: str = "topology") -> "TopologySpec":
+        data = _expect_mapping(data, path)
+        if "classes" in data:
+            if "num_nodes" in data:
+                raise SpecValidationError(
+                    f"{path}: num_nodes and classes are mutually exclusive"
+                )
+            raw = _as_list(data.pop("classes"), f"{path}.classes")
+            if not raw:
+                raise SpecValidationError(f"{path}.classes: must be non-empty")
+            classes = tuple(
+                _build_config(NodeClass, item, f"{path}.classes[{i}]")
+                for i, item in enumerate(raw)
+            )
+            _no_unknown(data, path)
+            return cls(classes=classes)
+        num_nodes = _as_int(_pop(data, "num_nodes", path), f"{path}.num_nodes")
+        processors = _as_int(
+            _pop(data, "processors", path, 4), f"{path}.processors"
+        )
+        mhz = _as_float(
+            _pop(data, "mhz_per_processor", path, 3000.0),
+            f"{path}.mhz_per_processor",
+        )
+        memory = _as_float(
+            _pop(data, "memory_mb", path, 4000.0), f"{path}.memory_mb"
+        )
+        _no_unknown(data, path)
+        return cls(
+            num_nodes=num_nodes,
+            processors=processors,
+            mhz_per_processor=mhz,
+            memory_mb=memory,
+        )
+
+
+# ----------------------------------------------------------------------
+# Transactional applications
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class AppSpec:
+    """One managed transactional application plus its load profile."""
+
+    app_id: str
+    rt_goal: float
+    mean_service_cycles: float
+    request_cap_mhz: float
+    instance_memory_mb: float
+    profile: ProfileSpec
+    min_instances: int = 1
+    max_instances: int = 10_000
+    model_kind: str = "closed"
+    think_time: float = 0.0
+
+    def __post_init__(self) -> None:
+        # Eager validation: TransactionalAppSpec names the app and the
+        # offending attribute in its ConfigurationError messages.
+        self._tx_spec()
+
+    def _tx_spec(self) -> TransactionalAppSpec:
+        return TransactionalAppSpec(
+            app_id=self.app_id,
+            rt_goal=self.rt_goal,
+            mean_service_cycles=self.mean_service_cycles,
+            request_cap_mhz=self.request_cap_mhz,
+            instance_memory_mb=self.instance_memory_mb,
+            min_instances=self.min_instances,
+            max_instances=self.max_instances,
+            model_kind=self.model_kind,  # type: ignore[arg-type]
+            think_time=self.think_time,
+        )
+
+    def materialize(self) -> AppWorkload:
+        return AppWorkload(spec=self._tx_spec(), profile=self.profile.build())
+
+    def to_dict(self) -> dict:
+        return {
+            "app_id": self.app_id,
+            "rt_goal": self.rt_goal,
+            "mean_service_cycles": self.mean_service_cycles,
+            "request_cap_mhz": self.request_cap_mhz,
+            "instance_memory_mb": self.instance_memory_mb,
+            "min_instances": self.min_instances,
+            "max_instances": self.max_instances,
+            "model_kind": self.model_kind,
+            "think_time": self.think_time,
+            "profile": self.profile.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: object, path: str = "apps[]") -> "AppSpec":
+        data = _expect_mapping(data, path)
+        profile = profile_spec_from_dict(
+            _pop(data, "profile", path), f"{path}.profile"
+        )
+        try:
+            return _build_config(cls, data, path, defaults={"profile": profile})
+        except SpecValidationError:
+            raise
+        except ConfigurationError as exc:
+            raise SpecValidationError(f"{path}: {exc}") from None
+
+
+# ----------------------------------------------------------------------
+# Job traces
+# ----------------------------------------------------------------------
+_TRACE_KINDS = ("differentiated", "none", "paper", "uniform")
+
+#: Fields each trace kind may set away from its default (plus ``kind``);
+#: mirrors what :meth:`JobTraceSpec.to_dict` serializes per kind.
+_TRACE_KIND_FIELDS = {
+    "none": {"kind"},
+    "paper": {
+        "kind", "count", "mean_interarrival", "template",
+        "rate_drop_time", "rate_drop_ratio", "initial_jobs", "stream",
+    },
+    "uniform": {"kind", "count", "mean_interarrival", "template", "start", "stream"},
+    "differentiated": {
+        "kind", "count", "mean_interarrival", "templates", "start", "stream",
+    },
+}
+
+
+@dataclass(frozen=True)
+class JobTraceSpec:
+    """Declarative job-submission trace, generated at materialization.
+
+    ``kind`` selects the generator from :mod:`repro.workloads.tracegen`:
+
+    * ``"paper"`` -- the paper's trace (exponential inter-arrivals whose
+      rate drops at ``rate_drop_time``; ``template`` defaults to the
+      paper's job);
+    * ``"uniform"`` -- identical jobs, exponential inter-arrivals;
+    * ``"differentiated"`` -- mixed job classes drawn from weighted
+      ``templates`` (service-differentiation experiments);
+    * ``"none"`` -- no long-running jobs.
+
+    Traces are deterministic given the scenario seed: the generator
+    consumes the named ``stream`` of the scenario's
+    :class:`~repro.sim.rng.RngRegistry`.
+    """
+
+    kind: str = "none"
+    count: int = 0
+    mean_interarrival: float = 260.0
+    template: Optional[JobTemplate] = None
+    templates: tuple[tuple[JobTemplate, float], ...] = ()
+    rate_drop_time: float = 60_000.0
+    rate_drop_ratio: float = 4.0
+    initial_jobs: int = 2
+    start: float = 0.0
+    stream: str = "job-arrivals"
+
+    def __post_init__(self) -> None:
+        if self.kind not in _TRACE_KINDS:
+            raise SpecValidationError(
+                f"jobs.kind: unknown trace kind {self.kind!r} "
+                f"(known: {', '.join(_TRACE_KINDS)})"
+            )
+        if self.kind == "uniform" and self.template is None:
+            raise SpecValidationError("jobs.template: required for kind 'uniform'")
+        if self.kind == "differentiated" and not self.templates:
+            raise SpecValidationError(
+                "jobs.templates: required for kind 'differentiated'"
+            )
+        if self.kind != "none" and self.count < 1:
+            raise SpecValidationError("jobs.count: must be >= 1")
+        # Kind-irrelevant fields must stay at their defaults; otherwise
+        # :meth:`to_dict` (which serializes only kind-relevant fields)
+        # could not round-trip losslessly.
+        allowed = _TRACE_KIND_FIELDS[self.kind]
+        for field_info in dataclasses.fields(self):
+            if field_info.name in allowed:
+                continue
+            if getattr(self, field_info.name) != field_info.default:
+                raise SpecValidationError(
+                    f"jobs.{field_info.name}: not applicable to trace kind "
+                    f"{self.kind!r}"
+                )
+
+    def materialize(self, rngs: RngRegistry) -> tuple[JobSpec, ...]:
+        if self.kind == "none":
+            return ()
+        rng = rngs.stream(self.stream)
+        if self.kind == "paper":
+            return tuple(
+                paper_job_trace(
+                    rng,
+                    count=self.count,
+                    mean_interarrival=self.mean_interarrival,
+                    rate_drop_time=self.rate_drop_time,
+                    rate_drop_ratio=self.rate_drop_ratio,
+                    template=self.template or PAPER_JOB_TEMPLATE,
+                    initial_jobs=self.initial_jobs,
+                )
+            )
+        if self.kind == "uniform":
+            return tuple(
+                uniform_job_trace(
+                    rng,
+                    template=self.template,
+                    count=self.count,
+                    mean_interarrival=self.mean_interarrival,
+                    start=self.start,
+                )
+            )
+        return tuple(
+            differentiated_job_trace(
+                rng,
+                templates=list(self.templates),
+                count=self.count,
+                mean_interarrival=self.mean_interarrival,
+                start=self.start,
+            )
+        )
+
+    def to_dict(self) -> dict:
+        if self.kind == "none":
+            return {"kind": "none"}
+        data: dict = {
+            "kind": self.kind,
+            "count": self.count,
+            "mean_interarrival": self.mean_interarrival,
+            "stream": self.stream,
+        }
+        if self.kind == "paper":
+            data.update(
+                rate_drop_time=self.rate_drop_time,
+                rate_drop_ratio=self.rate_drop_ratio,
+                initial_jobs=self.initial_jobs,
+            )
+            if self.template is not None:
+                data["template"] = dataclasses.asdict(self.template)
+        elif self.kind == "uniform":
+            data["start"] = self.start
+            data["template"] = dataclasses.asdict(self.template)
+        else:  # differentiated
+            data["start"] = self.start
+            data["templates"] = [
+                {"weight": weight, "template": dataclasses.asdict(template)}
+                for template, weight in self.templates
+            ]
+        return data
+
+    @classmethod
+    def from_dict(cls, data: object, path: str = "jobs") -> "JobTraceSpec":
+        data = _expect_mapping(data, path)
+        kwargs: dict = {}
+        if "template" in data:
+            kwargs["template"] = _build_config(
+                JobTemplate, data.pop("template"), f"{path}.template"
+            )
+        if "templates" in data:
+            raw = _as_list(data.pop("templates"), f"{path}.templates")
+            templates = []
+            for i, item in enumerate(raw):
+                item = _expect_mapping(item, f"{path}.templates[{i}]")
+                weight = _as_float(
+                    _pop(item, "weight", f"{path}.templates[{i}]"),
+                    f"{path}.templates[{i}].weight",
+                )
+                template = _build_config(
+                    JobTemplate,
+                    _pop(item, "template", f"{path}.templates[{i}]"),
+                    f"{path}.templates[{i}].template",
+                )
+                _no_unknown(item, f"{path}.templates[{i}]")
+                templates.append((template, weight))
+            kwargs["templates"] = tuple(templates)
+        return _build_config(cls, data, path, defaults=kwargs)
+
+
+# ----------------------------------------------------------------------
+# The scenario spec
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """A complete, serializable experiment description."""
+
+    name: str
+    seed: int
+    horizon: float
+    topology: TopologySpec
+    apps: tuple[AppSpec, ...] = ()
+    jobs: JobTraceSpec = field(default_factory=JobTraceSpec)
+    controller: ControllerConfig = field(default_factory=ControllerConfig)
+    costs: ActionCosts = field(default_factory=ActionCosts)
+    noise: NoiseConfig = field(default_factory=NoiseConfig)
+    failures: tuple[NodeFailure, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SpecValidationError("name: must be non-empty")
+        if self.horizon <= 0:
+            raise SpecValidationError("horizon: must be positive")
+        if not self.apps:
+            # Every policy (the utility controller included) needs at
+            # least one transactional demand curve; fail here by field
+            # name instead of mid-simulation.
+            raise SpecValidationError(
+                "apps: at least one transactional app is required"
+            )
+
+    # -- materialization ----------------------------------------------
+    def materialize(self) -> Scenario:
+        """Build the executable :class:`Scenario` this spec describes."""
+        rngs = RngRegistry(self.seed)
+        job_specs = self.jobs.materialize(rngs)
+        apps = tuple(app.materialize() for app in self.apps)
+        topology = self.topology
+        if topology.classes:
+            first = topology.classes[0]
+            node_kwargs = dict(
+                num_nodes=topology.total_nodes,
+                node_processors=first.processors,
+                node_mhz=first.mhz_per_processor,
+                node_memory_mb=first.memory_mb,
+                node_classes=topology.classes,
+            )
+        else:
+            node_kwargs = dict(
+                num_nodes=topology.total_nodes,
+                node_processors=topology.processors,
+                node_mhz=topology.mhz_per_processor,
+                node_memory_mb=topology.memory_mb,
+            )
+        return Scenario(
+            name=self.name,
+            apps=apps,
+            job_specs=job_specs,
+            controller=self.controller,
+            costs=self.costs,
+            noise=self.noise,
+            horizon=self.horizon,
+            seed=self.seed,
+            failures=self.failures,
+            **node_kwargs,
+        )
+
+    # -- dict / JSON / TOML -------------------------------------------
+    def to_dict(self) -> dict:
+        """Canonical serializable form (``None`` and empty lists omitted)."""
+        data: dict = {
+            "schema": SCENARIO_SCHEMA,
+            "name": self.name,
+            "seed": self.seed,
+            "horizon": self.horizon,
+            "topology": self.topology.to_dict(),
+            "jobs": self.jobs.to_dict(),
+            "controller": _config_to_dict(self.controller),
+            "costs": _config_to_dict(self.costs),
+            "noise": _config_to_dict(self.noise),
+        }
+        if self.apps:
+            data["apps"] = [app.to_dict() for app in self.apps]
+        if self.failures:
+            data["failures"] = [
+                _strip_nones(dataclasses.asdict(failure))
+                for failure in self.failures
+            ]
+        return data
+
+    @classmethod
+    def from_dict(cls, data: object, path: str = "scenario") -> "ScenarioSpec":
+        data = _expect_mapping(data, path)
+        schema = data.pop("schema", SCENARIO_SCHEMA)
+        if schema != SCENARIO_SCHEMA:
+            raise SpecValidationError(
+                f"{path}.schema: unsupported schema {schema!r} "
+                f"(expected {SCENARIO_SCHEMA!r})"
+            )
+        name = _as_str(_pop(data, "name", path), f"{path}.name")
+        seed = _as_int(_pop(data, "seed", path), f"{path}.seed")
+        horizon = _as_float(_pop(data, "horizon", path), f"{path}.horizon")
+        topology = TopologySpec.from_dict(
+            _pop(data, "topology", path), f"{path}.topology"
+        )
+        apps = tuple(
+            AppSpec.from_dict(item, f"{path}.apps[{i}]")
+            for i, item in enumerate(
+                _as_list(_pop(data, "apps", path, []), f"{path}.apps")
+            )
+        )
+        jobs = JobTraceSpec.from_dict(
+            _pop(data, "jobs", path, {"kind": "none"}), f"{path}.jobs"
+        )
+        controller_data = _expect_mapping(
+            _pop(data, "controller", path, {}), f"{path}.controller"
+        )
+        solver = _build_config(
+            SolverConfig,
+            controller_data.pop("solver", {}),
+            f"{path}.controller.solver",
+        )
+        controller = _build_config(
+            ControllerConfig,
+            controller_data,
+            f"{path}.controller",
+            defaults={"solver": solver},
+        )
+        costs = _build_config(
+            ActionCosts, _pop(data, "costs", path, {}), f"{path}.costs"
+        )
+        noise = _build_config(
+            NoiseConfig, _pop(data, "noise", path, {}), f"{path}.noise"
+        )
+        failures = tuple(
+            _build_config(NodeFailure, item, f"{path}.failures[{i}]")
+            for i, item in enumerate(
+                _as_list(_pop(data, "failures", path, []), f"{path}.failures")
+            )
+        )
+        _no_unknown(data, path)
+        return cls(
+            name=name,
+            seed=seed,
+            horizon=horizon,
+            topology=topology,
+            apps=apps,
+            jobs=jobs,
+            controller=controller,
+            costs=costs,
+            noise=noise,
+            failures=failures,
+        )
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        """The spec as a JSON document."""
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ScenarioSpec":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise SpecValidationError(f"invalid JSON: {exc}") from None
+        return cls.from_dict(data)
+
+    def to_toml(self) -> str:
+        """The spec as a TOML document."""
+        return dumps_toml(self.to_dict())
+
+    @classmethod
+    def from_toml(cls, text: str) -> "ScenarioSpec":
+        import tomllib
+
+        try:
+            data = tomllib.loads(text)
+        except tomllib.TOMLDecodeError as exc:
+            raise SpecValidationError(f"invalid TOML: {exc}") from None
+        return cls.from_dict(data)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "ScenarioSpec":
+        """Load a spec file; the format follows the extension (.json/.toml)."""
+        path = Path(path)
+        try:
+            text = path.read_text()
+        except OSError as exc:
+            raise SpecValidationError(f"cannot read spec file: {exc}") from None
+        if path.suffix == ".toml":
+            return cls.from_toml(text)
+        if path.suffix == ".json":
+            return cls.from_json(text)
+        raise SpecValidationError(
+            f"unsupported spec file extension {path.suffix!r} (use .json or .toml)"
+        )
+
+    def save(self, path: str | Path) -> Path:
+        """Write the spec to a .json or .toml file; returns the path."""
+        path = Path(path)
+        if path.suffix == ".toml":
+            path.write_text(self.to_toml())
+        elif path.suffix == ".json":
+            path.write_text(self.to_json() + "\n")
+        else:
+            raise SpecValidationError(
+                f"unsupported spec file extension {path.suffix!r} "
+                "(use .json or .toml)"
+            )
+        return path
+
+    # -- overrides -----------------------------------------------------
+    def with_overrides(self, overrides: Mapping[str, object]) -> "ScenarioSpec":
+        """Copy of the spec with dotted-path overrides applied.
+
+        Keys address the :meth:`to_dict` form: ``horizon``,
+        ``controller.control_cycle``, ``controller.solver.backend``,
+        ``apps.0.rt_goal``, ``topology.num_nodes`` ...  Values replace
+        whatever the path holds; the result is re-validated through
+        :meth:`from_dict`, so a misspelt path fails by name.
+        """
+        data = self.to_dict()
+        for key, value in overrides.items():
+            _apply_override(data, key, value)
+        return ScenarioSpec.from_dict(data)
+
+
+def _apply_override(data: dict, key: str, value: object) -> None:
+    parts = key.split(".")
+    cursor: object = data
+    for depth, part in enumerate(parts[:-1]):
+        where = ".".join(parts[: depth + 1])
+        if isinstance(cursor, list):
+            try:
+                cursor = cursor[int(part)]
+            except (ValueError, IndexError):
+                raise SpecValidationError(
+                    f"override {key!r}: {where!r} is not a valid list index"
+                ) from None
+        elif isinstance(cursor, dict):
+            if part not in cursor:
+                raise SpecValidationError(
+                    f"override {key!r}: unknown field {where!r}"
+                )
+            cursor = cursor[part]
+        else:
+            raise SpecValidationError(
+                f"override {key!r}: {where!r} is not a table or list"
+            )
+    last = parts[-1]
+    if isinstance(cursor, list):
+        try:
+            cursor[int(last)] = value
+        except (ValueError, IndexError):
+            raise SpecValidationError(
+                f"override {key!r}: {last!r} is not a valid list index"
+            ) from None
+    elif isinstance(cursor, dict):
+        cursor[last] = value
+    else:
+        raise SpecValidationError(
+            f"override {key!r}: cannot set a field on {type(cursor).__name__}"
+        )
+
+
+# ----------------------------------------------------------------------
+# Minimal TOML emitter for the spec's value shapes: scalars, lists of
+# scalars / lists, tables, and arrays of tables.  (The stdlib ships a
+# TOML parser -- tomllib -- but no writer.)
+# ----------------------------------------------------------------------
+def _toml_scalar(value: object) -> str:
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, int):
+        return repr(value)
+    if isinstance(value, float):
+        return repr(value)
+    if isinstance(value, str):
+        # JSON string escaping is a subset of TOML basic-string escaping.
+        return json.dumps(value)
+    if isinstance(value, (list, tuple)):
+        return "[" + ", ".join(_toml_scalar(v) for v in value) + "]"
+    raise SpecValidationError(f"cannot render {type(value).__name__} as TOML")
+
+
+def _is_table_array(value: object) -> bool:
+    return (
+        isinstance(value, (list, tuple))
+        and len(value) > 0
+        and all(isinstance(item, Mapping) for item in value)
+    )
+
+
+def _emit_table(data: Mapping, prefix: str, lines: list[str]) -> None:
+    tables = []
+    table_arrays = []
+    for key, value in data.items():
+        if isinstance(value, Mapping):
+            tables.append((key, value))
+        elif _is_table_array(value):
+            table_arrays.append((key, value))
+        else:
+            lines.append(f"{key} = {_toml_scalar(value)}")
+    for key, value in tables:
+        lines.append("")
+        lines.append(f"[{prefix}{key}]")
+        _emit_table(value, f"{prefix}{key}.", lines)
+    for key, value in table_arrays:
+        for item in value:
+            lines.append("")
+            lines.append(f"[[{prefix}{key}]]")
+            _emit_table(item, f"{prefix}{key}.", lines)
+
+
+def dumps_toml(data: Mapping) -> str:
+    """Render a spec dict as TOML (round-trips through ``tomllib``)."""
+    lines: list[str] = []
+    _emit_table(data, "", lines)
+    return "\n".join(lines).lstrip("\n") + "\n"

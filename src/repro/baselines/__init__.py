@@ -16,6 +16,13 @@ utility-driven controller (:mod:`repro.experiments.runner`).
 from .base import BaselinePolicy
 from .edf_scheduler import EdfSharedPolicy
 from .fcfs import FcfsSharedPolicy
+from .registry import (
+    PolicyFactory,
+    available_policies,
+    get_policy,
+    make_policy,
+    register_policy,
+)
 from .static_partition import StaticPartitionPolicy, merge_solutions
 from .tx_priority import TxPriorityPolicy
 
@@ -26,4 +33,9 @@ __all__ = [
     "EdfSharedPolicy",
     "TxPriorityPolicy",
     "merge_solutions",
+    "PolicyFactory",
+    "register_policy",
+    "get_policy",
+    "make_policy",
+    "available_policies",
 ]

@@ -1,0 +1,261 @@
+"""``python -m repro`` -- the reproduction command line.
+
+Every registered scenario runs from the CLI alone, under any registered
+placement policy, with spec-level overrides::
+
+    repro list                                  # registries + spec schema
+    repro run smoke                             # registered scenario
+    repro run paper --policy fcfs               # pick a baseline by name
+    repro run smoke --horizon 600 --set controller.control_cycle=300
+    repro run --spec examples/specs/smoke.json  # from a spec file
+    repro show heterogeneous-cluster --format toml > hetero.toml
+    repro sweep smoke --param controller.control_cycle \\
+        --values 300,600,1200 --workers 3
+
+``--set key=value`` addresses the spec's :meth:`ScenarioSpec.to_dict`
+form by dotted path (``controller.solver.backend=milp``,
+``apps.0.rt_goal=0.3``); values parse as JSON with a plain-string
+fallback.  ``repro run`` prints the run summary and optionally exports
+the full result (``--json out.json``, ``--csv outdir/``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import functools
+import json
+import sys
+from pathlib import Path
+from typing import Mapping, Optional, Sequence
+
+from .api import (
+    Experiment,
+    ScenarioSpec,
+    available_backends,
+    available_policies,
+    available_scenarios,
+    get_policy,
+    run_sweep,
+    scenario_spec,
+    sweep_table,
+)
+from .errors import ReproError
+from .experiments.report import summarize_run
+from .experiments.scenario import Scenario
+
+
+def _parse_value(text: str) -> object:
+    """JSON literal when possible (numbers, bools, lists), else string."""
+    try:
+        return json.loads(text)
+    except json.JSONDecodeError:
+        return text
+
+
+def _parse_overrides(pairs: Sequence[str]) -> dict[str, object]:
+    overrides: dict[str, object] = {}
+    for pair in pairs:
+        key, sep, value = pair.partition("=")
+        if not sep or not key:
+            raise SystemExit(f"--set expects key=value, got {pair!r}")
+        overrides[key] = _parse_value(value)
+    return overrides
+
+
+def _base_overrides(args: argparse.Namespace) -> dict[str, object]:
+    overrides = _parse_overrides(args.set or [])
+    if getattr(args, "horizon", None) is not None:
+        overrides.setdefault("horizon", args.horizon)
+    if getattr(args, "seed", None) is not None:
+        overrides.setdefault("seed", args.seed)
+    return overrides
+
+
+def _load_spec(args: argparse.Namespace) -> ScenarioSpec:
+    if args.spec is not None:
+        if args.scenario is not None:
+            raise SystemExit("give either a scenario name or --spec, not both")
+        spec = ScenarioSpec.load(args.spec)
+    elif args.scenario is not None:
+        spec = scenario_spec(args.scenario)
+    else:
+        raise SystemExit("a scenario name or --spec FILE is required")
+    overrides = _base_overrides(args)
+    if overrides:
+        spec = spec.with_overrides(overrides)
+    return spec
+
+
+# ----------------------------------------------------------------------
+# Subcommands
+# ----------------------------------------------------------------------
+def _cmd_list(args: argparse.Namespace) -> int:
+    if args.names:
+        for name in available_scenarios():
+            print(name)
+        return 0
+    print("scenarios (repro run <name>):")
+    for name in available_scenarios():
+        print(f"  {name}")
+    print("\npolicies (--policy <name>):")
+    for name in available_policies():
+        print(f"  {name}")
+    print("\nsolver backends (--set controller.solver.backend=<name>):")
+    for name in available_backends():
+        print(f"  {name}")
+    print("\nspec files: repro run --spec FILE.json|FILE.toml "
+          "(schema repro.scenario/v1)")
+    return 0
+
+
+def _cmd_show(args: argparse.Namespace) -> int:
+    spec = _load_spec(args)
+    if args.format == "toml":
+        sys.stdout.write(spec.to_toml())
+    else:
+        print(spec.to_json())
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    spec = _load_spec(args)
+    result = Experiment.from_spec(spec, policy=args.policy).run()
+    print(summarize_run(result))
+    if args.json is not None:
+        Path(args.json).write_text(result.to_json() + "\n")
+        print(f"\nresult written to {args.json}")
+    if args.csv is not None:
+        paths = result.export_csv(args.csv)
+        print(f"\nCSV written to {', '.join(str(p) for p in paths)}")
+    return 0
+
+
+def _sweep_point_scenario(
+    spec_data: Mapping[str, object], param: str, value: object
+) -> Scenario:
+    """Module-level (picklable) scenario factory for ``repro sweep``."""
+    spec = ScenarioSpec.from_dict(spec_data)
+    return spec.with_overrides({param: value}).materialize()
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    spec = _load_spec(args)
+    values = [_parse_value(v) for v in args.values.split(",") if v != ""]
+    if not values:
+        raise SystemExit("--values expects a comma-separated list")
+    factory = functools.partial(_sweep_point_scenario, spec.to_dict(), args.param)
+    sweep = run_sweep(
+        name=f"{spec.name}:{args.param}",
+        grid=values,
+        scenario_factory=factory,
+        policy_factory=get_policy(args.policy),
+        workers=args.workers,
+    )
+    print(sweep_table(sweep, parameter_label=args.param))
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Parser
+# ----------------------------------------------------------------------
+def _add_spec_arguments(
+    parser: argparse.ArgumentParser, *, with_policy: bool = True
+) -> None:
+    parser.add_argument(
+        "scenario", nargs="?", default=None,
+        help="registered scenario name (see `repro list`)",
+    )
+    parser.add_argument(
+        "--spec", type=Path, default=None,
+        help="scenario spec file (.json or .toml) instead of a name",
+    )
+    if with_policy:
+        parser.add_argument(
+            "--policy", default="utility",
+            help="placement policy name (see `repro list`; default: utility)",
+        )
+    parser.add_argument(
+        "--horizon", type=float, default=None, help="override the horizon (s)"
+    )
+    parser.add_argument(
+        "--seed", type=int, default=None, help="override the scenario seed"
+    )
+    parser.add_argument(
+        "--set", action="append", metavar="KEY=VALUE", default=[],
+        help="dotted-path spec override, e.g. controller.control_cycle=300 "
+             "(repeatable)",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Declarative experiment runner for the HPDC'08 "
+                    "SLA-placement reproduction.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_list = sub.add_parser(
+        "list", help="list registered scenarios, policies and solver backends"
+    )
+    p_list.add_argument(
+        "--names", action="store_true",
+        help="print scenario names only (one per line, for scripting)",
+    )
+    p_list.set_defaults(func=_cmd_list)
+
+    p_run = sub.add_parser("run", help="run one scenario under one policy")
+    _add_spec_arguments(p_run)
+    p_run.add_argument(
+        "--json", type=Path, default=None, metavar="FILE",
+        help="write the full result (repro.result/v1) as JSON",
+    )
+    p_run.add_argument(
+        "--csv", type=Path, default=None, metavar="DIR",
+        help="write series.csv and summary.csv to this directory",
+    )
+    p_run.set_defaults(func=_cmd_run)
+
+    p_show = sub.add_parser(
+        "show", help="print a scenario's spec (after overrides) and exit"
+    )
+    # No --policy: the policy is not part of the spec being shown.
+    _add_spec_arguments(p_show, with_policy=False)
+    p_show.add_argument(
+        "--format", choices=["json", "toml"], default="json",
+        help="output format (default: json)",
+    )
+    p_show.set_defaults(func=_cmd_show)
+
+    p_sweep = sub.add_parser(
+        "sweep", help="run a one-parameter grid and tabulate summary metrics"
+    )
+    _add_spec_arguments(p_sweep)
+    p_sweep.add_argument(
+        "--param", required=True,
+        help="dotted spec path to sweep, e.g. controller.control_cycle",
+    )
+    p_sweep.add_argument(
+        "--values", required=True,
+        help="comma-separated grid values (JSON literals)",
+    )
+    p_sweep.add_argument(
+        "--workers", type=int, default=None,
+        help="fan grid points out over N worker processes",
+    )
+    p_sweep.set_defaults(func=_cmd_sweep)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

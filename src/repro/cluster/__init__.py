@@ -27,6 +27,8 @@ from .topology import (
     PAPER_NODE_COUNT,
     PAPER_NODE_MEMORY_MB,
     PAPER_PROCESSORS,
+    NodeClass,
+    cluster_from_classes,
     heterogeneous_cluster,
     homogeneous_cluster,
     paper_cluster,
@@ -52,6 +54,8 @@ __all__ = [
     "DISRUPTIVE_ACTIONS",
     "homogeneous_cluster",
     "heterogeneous_cluster",
+    "NodeClass",
+    "cluster_from_classes",
     "paper_cluster",
     "PAPER_NODE_COUNT",
     "PAPER_PROCESSORS",

@@ -8,6 +8,7 @@ the HPDC'08 evaluation.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Sequence
 
 from ..errors import ConfigurationError
@@ -54,6 +55,71 @@ def homogeneous_cluster(
 def paper_cluster() -> Cluster:
     """The evaluation cluster of the paper: 25 nodes x 4 processors."""
     return homogeneous_cluster(PAPER_NODE_COUNT)
+
+
+@dataclass(frozen=True, slots=True)
+class NodeClass:
+    """A named class of identical nodes inside a heterogeneous cluster.
+
+    Scenario specs describe mixed-hardware topologies as a list of node
+    classes (e.g. a "modern" rack and a "legacy" rack); node ids encode
+    the class name -- ``f"{name}-{i:03d}"`` -- for stable ordering and
+    readable failure injection targets.
+    """
+
+    name: str
+    count: int
+    processors: int
+    mhz_per_processor: Mhz
+    memory_mb: Megabytes
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("node class name must be non-empty")
+        if self.count < 1:
+            raise ConfigurationError(f"node class {self.name!r}: count must be >= 1")
+        if self.processors < 1:
+            raise ConfigurationError(
+                f"node class {self.name!r}: processors must be >= 1"
+            )
+        if self.mhz_per_processor <= 0:
+            raise ConfigurationError(
+                f"node class {self.name!r}: mhz_per_processor must be positive"
+            )
+        if self.memory_mb <= 0:
+            raise ConfigurationError(
+                f"node class {self.name!r}: memory_mb must be positive"
+            )
+
+    @property
+    def cpu_capacity(self) -> Mhz:
+        """Total CPU capacity contributed by this class."""
+        return self.count * self.processors * self.mhz_per_processor
+
+
+def cluster_from_classes(classes: Sequence[NodeClass]) -> Cluster:
+    """Build a heterogeneous cluster from named node classes.
+
+    The declarative counterpart of :func:`heterogeneous_cluster`: each
+    class contributes ``count`` identical nodes with ids
+    ``f"{cls.name}-{i:03d}"``.  Class names must be unique.
+    """
+    classes = tuple(classes)
+    if not classes:
+        raise ConfigurationError("node classes must be non-empty")
+    names = [c.name for c in classes]
+    if len(set(names)) != len(names):
+        raise ConfigurationError(f"duplicate node class names in {names}")
+    return Cluster(
+        NodeSpec(
+            node_id=f"{cls.name}-{i:03d}",
+            processors=cls.processors,
+            mhz_per_processor=cls.mhz_per_processor,
+            memory_mb=cls.memory_mb,
+        )
+        for cls in classes
+        for i in range(cls.count)
+    )
 
 
 def heterogeneous_cluster(rack_specs: Sequence[tuple[int, int, Mhz, Megabytes]]) -> Cluster:

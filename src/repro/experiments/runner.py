@@ -14,12 +14,14 @@ every baseline run under identical conditions.
 
 from __future__ import annotations
 
+import csv
+import json
 import math
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Callable, Mapping, Optional, Protocol, Sequence
 
-import numpy as np
-
+from ..analysis.stats import job_outcome_stats
 from ..cluster.actions import (
     ActionLog,
     AdjustCpu,
@@ -83,6 +85,10 @@ class PlacementPolicy(Protocol):
 #: Factory building a policy for a scenario (lets experiments swap baselines).
 PolicyFactory = Callable[[Scenario], PlacementPolicy]
 
+#: Version tag of the serialized experiment-result layout (see
+#: :meth:`ExperimentResult.to_dict`).
+RESULT_SCHEMA = "repro.result/v1"
+
 
 def default_policy_factory(scenario: Scenario) -> PlacementPolicy:
     """The paper's controller with the scenario's configuration."""
@@ -103,27 +109,128 @@ class ExperimentResult:
     cycles: int
 
     def job_outcomes(self) -> dict[str, float]:
-        """Aggregate SLA outcomes over *completed* jobs."""
-        utility = JobUtility()
-        completed = [j for j in self.jobs if j.phase is JobPhase.COMPLETED]
-        total = len([j for j in self.jobs if j.spec.submit_time < math.inf])
-        if not completed:
-            return {
-                "completed": 0.0,
-                "submitted": float(total),
-                "mean_utility": math.nan,
-                "on_time_fraction": math.nan,
-                "mean_tardiness": math.nan,
-            }
-        utilities = [utility.achieved(j) for j in completed]
-        tardiness = [j.tardiness for j in completed]
+        """Aggregate SLA outcomes over *completed* jobs.
+
+        Counts every trace job as submitted (no horizon filter); the
+        horizon-filtered view lives in :meth:`summary_metrics`.  Both
+        delegate to :func:`repro.analysis.stats.job_outcome_stats` so
+        the definitions cannot drift.
+        """
+        stats = job_outcome_stats(self.jobs)
         return {
-            "completed": float(len(completed)),
-            "submitted": float(total),
-            "mean_utility": float(np.mean(utilities)),
-            "on_time_fraction": float(np.mean([t == 0.0 for t in tardiness])),
-            "mean_tardiness": float(np.mean(tardiness)),
+            "completed": float(stats.completed),
+            "submitted": float(stats.submitted),
+            "mean_utility": stats.mean_utility,
+            "on_time_fraction": stats.on_time_fraction,
+            "mean_tardiness": stats.mean_tardiness,
         }
+
+    # ------------------------------------------------------------------
+    # Export (stable repro.result/v1 schema)
+    # ------------------------------------------------------------------
+    def summary_metrics(self) -> dict[str, float]:
+        """Scalar run summary: time-averaged utilities, outcomes, churn.
+
+        The metric set is stable (new keys may be appended, existing keys
+        keep their meaning): ``tx_utility`` / ``lr_utility`` /
+        ``min_utility`` / ``utility_gap`` are time averages over the full
+        horizon; ``jobs_*``, ``on_time_fraction``, ``mean_tardiness`` and
+        ``mean_job_utility`` aggregate completed-job outcomes
+        (``jobs_submitted`` counts jobs that entered before the horizon,
+        not trace jobs that never ran); ``disruptive_actions`` counts
+        budget-relevant placement changes; ``cycles`` counts control
+        cycles.
+        """
+        rec = self.recorder
+        horizon = self.scenario.horizon
+        outcome = job_outcome_stats(self.jobs, horizon)
+        tx_u = rec.series("tx_utility").time_average(0.0, horizon)
+        lr_u = rec.series("lr_utility").time_average(0.0, horizon)
+        return {
+            "tx_utility": tx_u,
+            "lr_utility": lr_u,
+            "min_utility": min(tx_u, lr_u),
+            "utility_gap": rec.series("utility_gap").time_average(0.0, horizon),
+            "jobs_completed": float(outcome.completed),
+            "jobs_submitted": float(outcome.submitted),
+            "on_time_fraction": outcome.on_time_fraction,
+            "mean_tardiness": outcome.mean_tardiness,
+            "mean_job_utility": outcome.mean_utility,
+            "disruptive_actions": float(self.action_log.disruptive_total),
+            "cycles": float(self.cycles),
+        }
+
+    def to_dict(self) -> dict[str, object]:
+        """Serializable result in the stable ``repro.result/v1`` schema::
+
+            {
+              "schema": "repro.result/v1",
+              "scenario": {"name", "seed", "horizon", "num_nodes"},
+              "cycles": <int>,
+              "summary": {<summary_metrics()>},
+              "recorder": {<Recorder.to_dict(), repro.recorder/v1>}
+            }
+        """
+        return {
+            "schema": RESULT_SCHEMA,
+            "scenario": {
+                "name": self.scenario.name,
+                "seed": self.scenario.seed,
+                "horizon": self.scenario.horizon,
+                "num_nodes": self.scenario.num_nodes,
+            },
+            "cycles": self.cycles,
+            "summary": self.summary_metrics(),
+            "recorder": self.recorder.to_dict(),
+        }
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        """:meth:`to_dict` rendered as strict (RFC 8259) JSON.
+
+        Non-finite metrics (e.g. ``mean_tardiness`` when no job
+        completed) serialize as ``null`` so any JSON parser can read the
+        export; :meth:`~repro.sim.recorder.Recorder.from_dict` maps
+        ``null`` samples back to NaN.
+        """
+        return json.dumps(
+            _null_non_finite(self.to_dict()),
+            indent=indent,
+            sort_keys=False,
+            allow_nan=False,
+        )
+
+    def export_csv(self, directory: str | Path) -> list[Path]:
+        """Write ``series.csv`` (long format: series,time,value) and
+        ``summary.csv`` (metric,value) under ``directory``; returns the
+        written paths."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        series_path = directory / "series.csv"
+        with series_path.open("w", newline="") as fh:
+            writer = csv.writer(fh)
+            writer.writerow(["series", "time", "value"])
+            for name in self.recorder.series_names():
+                series = self.recorder.series(name)
+                for t, v in zip(series.times, series.values):
+                    writer.writerow([name, repr(float(t)), repr(float(v))])
+        summary_path = directory / "summary.csv"
+        with summary_path.open("w", newline="") as fh:
+            writer = csv.writer(fh)
+            writer.writerow(["metric", "value"])
+            for key, value in self.summary_metrics().items():
+                writer.writerow([key, repr(float(value))])
+        return [series_path, summary_path]
+
+
+def _null_non_finite(data: object) -> object:
+    """Recursively replace non-finite floats with None (JSON null)."""
+    if isinstance(data, float) and not math.isfinite(data):
+        return None
+    if isinstance(data, dict):
+        return {k: _null_non_finite(v) for k, v in data.items()}
+    if isinstance(data, (list, tuple)):
+        return [_null_non_finite(v) for v in data]
+    return data
 
 
 class ExperimentRunner:

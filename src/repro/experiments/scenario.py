@@ -27,7 +27,7 @@ from typing import Optional, Sequence
 
 from ..cluster.actions import ActionCosts
 from ..cluster.cluster import Cluster
-from ..cluster.topology import homogeneous_cluster
+from ..cluster.topology import NodeClass, cluster_from_classes, homogeneous_cluster
 from ..config import ControllerConfig, NoiseConfig
 from ..errors import ConfigurationError
 from ..sim.rng import RngRegistry
@@ -78,21 +78,46 @@ class Scenario:
     horizon: Seconds
     seed: int
     failures: tuple[NodeFailure, ...] = field(default_factory=tuple)
+    #: Optional heterogeneous topology: when non-empty the cluster is
+    #: built from these classes instead of ``num_nodes`` identical nodes
+    #: (the ``node_*`` fields then describe the first class, for
+    #: homogeneous-only consumers such as the paper-shape validator).
+    node_classes: tuple[NodeClass, ...] = field(default_factory=tuple)
 
     def __post_init__(self) -> None:
         if self.num_nodes < 1:
             raise ConfigurationError("num_nodes must be >= 1")
         if self.horizon <= 0:
             raise ConfigurationError("horizon must be positive")
+        if self.node_classes:
+            total = sum(cls.count for cls in self.node_classes)
+            if total != self.num_nodes:
+                raise ConfigurationError(
+                    f"node_classes count {total} != num_nodes {self.num_nodes}"
+                )
 
     def build_cluster(self) -> Cluster:
         """Materialize the cluster topology."""
+        if self.node_classes:
+            return cluster_from_classes(self.node_classes)
         return homogeneous_cluster(
             self.num_nodes,
             processors=self.node_processors,
             mhz_per_processor=self.node_mhz,
             memory_mb=self.node_memory_mb,
         )
+
+    @property
+    def cluster_capacity(self) -> float:
+        """Aggregate CPU capacity (MHz), correct for both topology forms.
+
+        Consumers must use this instead of multiplying the ``node_*``
+        fields, which describe only the first class of a heterogeneous
+        cluster.
+        """
+        if self.node_classes:
+            return sum(cls.cpu_capacity for cls in self.node_classes)
+        return self.num_nodes * self.node_processors * self.node_mhz
 
     def with_controller(self, controller: ControllerConfig) -> "Scenario":
         """Copy of the scenario with a different controller configuration."""

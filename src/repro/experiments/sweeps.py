@@ -12,7 +12,6 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Callable, Mapping, Optional, Sequence
 
-from ..analysis.stats import job_outcome_stats
 from .runner import ExperimentResult, PolicyFactory, run_scenario
 from .scenario import Scenario
 
@@ -47,22 +46,12 @@ class SweepResult:
 
 
 def default_metrics(result: ExperimentResult) -> Mapping[str, float]:
-    """Standard sweep metrics: utilities, equalization, outcomes, churn."""
-    rec = result.recorder
-    horizon = result.scenario.horizon
-    outcome = job_outcome_stats(result.jobs, horizon)
-    tx_u = rec.series("tx_utility").time_average(0.0, horizon)
-    lr_u = rec.series("lr_utility").time_average(0.0, horizon)
-    gap = rec.series("utility_gap").time_average(0.0, horizon)
-    return {
-        "tx_utility": tx_u,
-        "lr_utility": lr_u,
-        "min_utility": min(tx_u, lr_u),
-        "utility_gap": gap,
-        "jobs_completed": float(outcome.completed),
-        "mean_tardiness": outcome.mean_tardiness,
-        "disruptive_actions": float(result.action_log.disruptive_total),
-    }
+    """Standard sweep metrics: utilities, equalization, outcomes, churn.
+
+    Delegates to :meth:`ExperimentResult.summary_metrics`, the one stable
+    scalar summary shared by sweeps, the CLI and JSON/CSV export.
+    """
+    return result.summary_metrics()
 
 
 def _run_point(

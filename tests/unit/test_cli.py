@@ -1,0 +1,141 @@
+"""Tests for the ``python -m repro`` CLI.
+
+``list`` and ``run smoke --horizon 600`` go through a real subprocess
+(the ISSUE's end-to-end requirement: the installed module entry point
+works from a shell); the remaining subcommands run in-process for speed.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.api import available_scenarios, scenario_spec
+from repro.cli import main
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def run_cli_subprocess(*args: str) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=REPO_ROOT,
+        timeout=300,
+    )
+
+
+class TestSubprocessEndToEnd:
+    def test_list(self):
+        proc = run_cli_subprocess("list")
+        assert proc.returncode == 0, proc.stderr
+        for name in ("smoke", "paper", "heterogeneous-cluster"):
+            assert name in proc.stdout
+        for policy in ("utility", "fcfs", "static-partition"):
+            assert policy in proc.stdout
+
+    def test_run_smoke_short_horizon(self):
+        proc = run_cli_subprocess("run", "smoke", "--horizon", "600")
+        assert proc.returncode == 0, proc.stderr
+        assert "run 'smoke'" in proc.stdout
+        assert "control cycles over 600 s" in proc.stdout
+
+
+class TestInProcess:
+    def test_list_names_matches_registry(self, capsys):
+        assert main(["list", "--names"]) == 0
+        names = capsys.readouterr().out.split()
+        assert tuple(names) == available_scenarios()
+
+    def test_run_with_policy_and_set(self, capsys):
+        code = main(
+            [
+                "run", "smoke", "--policy", "fcfs", "--horizon", "600",
+                "--set", "controller.control_cycle=300",
+            ]
+        )
+        assert code == 0
+        assert "run 'smoke'" in capsys.readouterr().out
+
+    def test_run_spec_file(self, capsys):
+        code = main(
+            [
+                "run", "--spec", str(REPO_ROOT / "examples/specs/smoke.json"),
+                "--horizon", "600",
+            ]
+        )
+        assert code == 0
+        assert "run 'smoke'" in capsys.readouterr().out
+
+    def test_run_exports_json_and_csv(self, tmp_path, capsys):
+        out_json = tmp_path / "result.json"
+        out_csv = tmp_path / "csv"
+        code = main(
+            [
+                "run", "smoke", "--horizon", "600",
+                "--json", str(out_json), "--csv", str(out_csv),
+            ]
+        )
+        assert code == 0
+        capsys.readouterr()
+        payload = json.loads(out_json.read_text())
+        assert payload["schema"] == "repro.result/v1"
+        assert (out_csv / "series.csv").exists()
+        assert (out_csv / "summary.csv").exists()
+
+    def test_show_round_trips(self, capsys):
+        assert main(["show", "smoke"]) == 0
+        from repro.api import ScenarioSpec
+
+        spec = ScenarioSpec.from_json(capsys.readouterr().out)
+        assert spec == scenario_spec("smoke")
+
+    def test_show_toml(self, capsys):
+        assert main(["show", "heterogeneous-cluster", "--format", "toml"]) == 0
+        out = capsys.readouterr().out
+        assert "[[topology.classes]]" in out
+
+    def test_sweep_serial(self, capsys):
+        code = main(
+            [
+                "sweep", "smoke", "--param", "controller.control_cycle",
+                "--values", "300,600", "--horizon", "600",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "controller.control_cycle" in out
+        assert "min_utility" in out
+
+    def test_unknown_scenario_fails_with_known_names(self, capsys):
+        code = main(["run", "nope"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "unknown scenario" in err and "smoke" in err
+
+    def test_unknown_policy_fails(self, capsys):
+        code = main(["run", "smoke", "--policy", "nope", "--horizon", "600"])
+        assert code == 2
+        assert "unknown placement policy" in capsys.readouterr().err
+
+    def test_bad_set_syntax(self):
+        with pytest.raises(SystemExit):
+            main(["run", "smoke", "--set", "no-equals-sign"])
+
+    def test_scenario_and_spec_are_exclusive(self):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "run", "smoke",
+                    "--spec", str(REPO_ROOT / "examples/specs/smoke.json"),
+                ]
+            )

@@ -42,3 +42,43 @@ class TestBuilders:
     def test_heterogeneous_rejects_empty(self):
         with pytest.raises(ConfigurationError):
             heterogeneous_cluster([])
+
+
+class TestNodeClasses:
+    def test_cluster_from_classes_ids_and_shapes(self):
+        from repro.cluster import NodeClass, cluster_from_classes
+
+        cluster = cluster_from_classes(
+            [
+                NodeClass("modern", 2, 4, 3000.0, 4000.0),
+                NodeClass("legacy", 1, 2, 2000.0, 2400.0),
+            ]
+        )
+        assert cluster.node_ids == ["modern-000", "modern-001", "legacy-000"]
+        assert cluster.node("legacy-000").processors == 2
+        assert cluster.total_cpu_capacity == pytest.approx(2 * 12_000.0 + 4_000.0)
+
+    def test_duplicate_class_names_rejected(self):
+        from repro.cluster import NodeClass, cluster_from_classes
+
+        with pytest.raises(ConfigurationError, match="duplicate"):
+            cluster_from_classes(
+                [
+                    NodeClass("a", 1, 4, 3000.0, 4000.0),
+                    NodeClass("a", 2, 4, 3000.0, 4000.0),
+                ]
+            )
+
+    def test_invalid_class_fields_rejected(self):
+        from repro.cluster import NodeClass, cluster_from_classes
+
+        with pytest.raises(ConfigurationError, match="count"):
+            NodeClass("a", 0, 4, 3000.0, 4000.0)
+        with pytest.raises(ConfigurationError):
+            cluster_from_classes([])
+
+    def test_node_class_capacity(self):
+        from repro.cluster import NodeClass
+
+        cls = NodeClass("m", 3, 4, 3000.0, 4000.0)
+        assert cls.cpu_capacity == pytest.approx(36_000.0)

@@ -104,3 +104,73 @@ class TestRecorder:
         assert rec.counter("done") == 3.0
         assert rec.counter("never") == 0.0
         assert rec.counters == {"done": 3.0}
+
+
+class TestSerialization:
+    """repro.recorder/v1 round trips (documented stable schema)."""
+
+    def _populated(self) -> Recorder:
+        rec = Recorder()
+        rec.record("tx_utility", 0.0, 0.5)
+        rec.record("tx_utility", 600.0, 0.75)
+        rec.record("lr_utility", 0.0, 0.25)
+        rec.bump("jobs_completed", 3.0)
+        return rec
+
+    def test_series_round_trip(self):
+        s = Series("x")
+        s.append(0.0, 1.0)
+        s.append(10.0, -2.5)
+        rebuilt = Series.from_dict("x", s.to_dict())
+        assert np.array_equal(rebuilt.times, s.times)
+        assert np.array_equal(rebuilt.values, s.values)
+
+    def test_series_rejects_mismatched_lengths(self):
+        with pytest.raises(SimulationError, match="equal-length"):
+            Series.from_dict("x", {"times": [0.0, 1.0], "values": [1.0]})
+
+    def test_malformed_payloads_raise_simulation_error(self):
+        with pytest.raises(SimulationError, match="lists"):
+            Series.from_dict("x", {"times": 3, "values": 5})
+        with pytest.raises(SimulationError, match="mapping"):
+            Series.from_dict("x", [1, 2])
+        with pytest.raises(SimulationError, match="mapping"):
+            Recorder.from_dict({"series": {"x": [1, 2]}})
+
+    def test_non_numeric_samples_raise_simulation_error(self):
+        with pytest.raises(SimulationError, match="non-numeric"):
+            Series.from_dict("x", {"times": ["a"], "values": [1.0]})
+        with pytest.raises(SimulationError, match="non-numeric"):
+            Recorder.from_dict({"counters": {"c": "oops"}})
+
+    def test_null_samples_become_nan(self):
+        import math
+
+        series = Series.from_dict("x", {"times": [0.0], "values": [None]})
+        assert math.isnan(series.value_at(0.0))
+
+    def test_recorder_round_trip(self):
+        rec = self._populated()
+        rebuilt = Recorder.from_dict(rec.to_dict())
+        assert rebuilt.series_names() == rec.series_names()
+        for name in rec.series_names():
+            assert np.array_equal(rebuilt.series(name).times, rec.series(name).times)
+            assert np.array_equal(
+                rebuilt.series(name).values, rec.series(name).values
+            )
+        assert rebuilt.counters == rec.counters
+
+    def test_schema_tag_present_and_checked(self):
+        data = self._populated().to_dict()
+        assert data["schema"] == "repro.recorder/v1"
+        data["schema"] = "repro.recorder/v9"
+        with pytest.raises(SimulationError, match="v9"):
+            Recorder.from_dict(data)
+
+    def test_round_trip_through_json(self):
+        import json
+
+        rec = self._populated()
+        rebuilt = Recorder.from_dict(json.loads(json.dumps(rec.to_dict())))
+        assert rebuilt.counter("jobs_completed") == 3.0
+        assert rebuilt.series("tx_utility").value_at(700.0) == 0.75
