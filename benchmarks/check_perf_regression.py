@@ -1,0 +1,86 @@
+"""CI gate: the 100x1000 warm-path decide() anchor must not regress.
+
+Measures the steady-state warm path on the anchor grid point (100 nodes x
+1000 jobs) and compares the machine-normalized median against the
+committed ``BENCH_control_cycle.json``.  Fails (exit 1) when the fresh
+number exceeds the committed one by more than the tolerance --
+machine-normalized, so the gate survives hardware differences between the
+committing machine and the CI runner.
+
+Knobs:
+
+* ``BENCH_ANCHOR_TOLERANCE`` -- allowed relative regression (default 0.25).
+* ``BENCH_ANCHOR_REPEATS``   -- decide() repetitions (default 15: CI
+  timers are noisy and the comparison is a gate, not a measurement).
+* ``BENCH_OUTPUT``           -- committed artifact path (default
+  ``BENCH_control_cycle.json``; run from the repo root).
+
+Exit codes: 0 within tolerance, 1 regression, 2 missing/invalid artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+from bench_control_cycle import (
+    _artifact_path,
+    _time_decides,
+    machine_calibration_ms,
+)
+
+ANCHOR_NODES = 100
+ANCHOR_JOBS = 1000
+
+
+def committed_anchor() -> dict | None:
+    """The committed artifact's anchor point, or ``None``."""
+    try:
+        with open(_artifact_path()) as fh:
+            doc = json.load(fh)
+    except (OSError, json.JSONDecodeError):
+        return None
+    if doc.get("bench") != "control_cycle_scaling":
+        return None
+    for point in doc.get("points", []):
+        if point.get("nodes") == ANCHOR_NODES and point.get("jobs") == ANCHOR_JOBS:
+            return point
+    return None
+
+
+def main() -> int:
+    tolerance = float(os.environ.get("BENCH_ANCHOR_TOLERANCE", "0.25"))
+    repeats = int(os.environ.get("BENCH_ANCHOR_REPEATS", "15"))
+
+    committed = committed_anchor()
+    if committed is None or "decide_median_normalized" not in committed:
+        print(
+            f"no committed {ANCHOR_NODES}x{ANCHOR_JOBS} anchor in "
+            f"{_artifact_path()!r}; regenerate BENCH_control_cycle.json"
+        )
+        return 2
+
+    calibration = machine_calibration_ms()
+    median_ms, p95_ms, _ = _time_decides(
+        ANCHOR_NODES, ANCHOR_JOBS, repeats, warm=True
+    )
+    fresh_norm = median_ms / calibration
+    committed_norm = float(committed["decide_median_normalized"])
+    limit = committed_norm * (1.0 + tolerance)
+
+    print(f"{ANCHOR_NODES}x{ANCHOR_JOBS} warm decide() anchor (machine-normalized)")
+    print(f"  committed: {committed_norm:8.3f}  ({committed['decide_median_ms']:.2f} ms)")
+    print(f"  fresh:     {fresh_norm:8.3f}  ({median_ms:.2f} ms, p95 {p95_ms:.2f} ms,")
+    print(f"              calibration {calibration:.3f} ms, repeats {repeats})")
+    print(f"  limit:     {limit:8.3f}  (tolerance {tolerance:.0%})")
+
+    if fresh_norm > limit:
+        print("REGRESSION: fresh anchor exceeds the committed one beyond tolerance")
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

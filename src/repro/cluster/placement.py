@@ -24,7 +24,7 @@ below the validation tolerance).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Iterator, Mapping, Optional
+from typing import Iterable, Iterator, KeysView, Mapping, Optional
 
 from ..errors import PlacementError
 from ..types import Megabytes, Mhz, WorkloadKind
@@ -34,9 +34,18 @@ from .cluster import Cluster
 _EPS = 1e-6
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(slots=True, unsafe_hash=True)
 class PlacementEntry:
-    """One VM's assignment: where it runs and what it is granted."""
+    """One VM's assignment: where it runs and what it is granted.
+
+    Immutable by convention (``Placement`` replaces entries, never
+    mutates them -- see :meth:`with_cpu`); not ``frozen=True`` because
+    the solver constructs one to two entries per placed VM every control
+    cycle and frozen-dataclass construction costs ~2.3x
+    (``object.__setattr__`` per field) on that hot path.
+    ``unsafe_hash`` keeps the field-based hash a frozen dataclass would
+    have generated, consistent with ``__eq__``.
+    """
 
     vm_id: str
     node_id: str
@@ -50,18 +59,40 @@ class PlacementEntry:
         if self.memory_mb <= 0:
             raise PlacementError(f"vm {self.vm_id}: non-positive memory footprint")
 
+    @classmethod
+    def trusted(
+        cls,
+        vm_id: str,
+        node_id: str,
+        cpu_mhz: Mhz,
+        memory_mb: Megabytes,
+        kind: WorkloadKind,
+    ) -> "PlacementEntry":
+        """Validation-free constructor for the solver's hot path.
+
+        The solver creates one to two entries per placed VM every control
+        cycle from grants it just clamped non-negative and footprints the
+        request types already validated; re-checking per entry is pure
+        overhead.  External callers must use the normal constructor: this
+        one skips ``__post_init__``.
+        """
+        self = object.__new__(cls)
+        self.vm_id = vm_id
+        self.node_id = node_id
+        self.cpu_mhz = cpu_mhz
+        self.memory_mb = memory_mb
+        self.kind = kind
+        return self
+
     def with_cpu(self, cpu_mhz: Mhz) -> "PlacementEntry":
         """Copy of this entry with a different CPU grant.
 
-        Direct construction: ``dataclasses.replace`` costs ~3x as much
-        and this runs once per boosted job per control cycle.
+        Trusted construction: this runs once per boosted job per control
+        cycle, and every field but the grant was validated when ``self``
+        was built (the water-fill grants it receives are non-negative).
         """
-        return PlacementEntry(
-            vm_id=self.vm_id,
-            node_id=self.node_id,
-            cpu_mhz=cpu_mhz,
-            memory_mb=self.memory_mb,
-            kind=self.kind,
+        return PlacementEntry.trusted(
+            self.vm_id, self.node_id, cpu_mhz, self.memory_mb, self.kind
         )
 
 
@@ -97,6 +128,14 @@ class Placement:
     def get(self, vm_id: str) -> Optional[PlacementEntry]:
         """Entry for ``vm_id`` or ``None`` when not placed."""
         return self._entries.get(vm_id)
+
+    def vm_ids(self) -> KeysView[str]:
+        """Live view of the placed VM ids (supports set algebra).
+
+        The action planner diffs placements through this every control
+        cycle; a view avoids materializing throwaway id sets.
+        """
+        return self._entries.keys()
 
     def entry(self, vm_id: str) -> PlacementEntry:
         """Entry for ``vm_id``; raises :class:`PlacementError` if absent."""

@@ -145,6 +145,18 @@ class ControllerConfig:
         Placement-solver tunables (:class:`SolverConfig`), including the
         ``backend`` name that picks the solver implementation from
         :mod:`repro.core.backends` (greedy heuristic vs optimal MILP).
+    warm_start:
+        Whether the controller keeps a cross-cycle
+        :class:`~repro.core.control_state.ControlState` and offers the
+        previous cycle's converged equalization level as a (verified,
+        result-preserving) warm seed to the next one.  ``False``
+        reproduces the fully stateless pipeline.
+    warm_demand_rtol:
+        Relative demand/population shift between consecutive cycles
+        beyond which the warm hints are dropped and the cycle runs cold.
+    warm_seed_depth:
+        Bisection depth of the equalizer's verified warm bracket (the
+        equalizer cascades to shallower depths when the level drifted).
     """
 
     control_cycle: Seconds = 600.0
@@ -154,6 +166,11 @@ class ControllerConfig:
     rt_tolerance: float = 0.05
     estimator_alpha: float = 0.3
     solver: SolverConfig = field(default_factory=SolverConfig)
+    # New fields append after the seed ones so positional construction
+    # of this public frozen dataclass keeps working.
+    warm_start: bool = True
+    warm_demand_rtol: float = 0.35
+    warm_seed_depth: int = 8
 
     def __post_init__(self) -> None:
         if self.control_cycle <= 0:
@@ -168,6 +185,10 @@ class ControllerConfig:
             raise ConfigurationError("rt_tolerance must be positive")
         if not 0 < self.estimator_alpha <= 1:
             raise ConfigurationError("estimator_alpha must be in (0, 1]")
+        if self.warm_demand_rtol < 0:
+            raise ConfigurationError("warm_demand_rtol must be non-negative")
+        if self.warm_seed_depth < 1:
+            raise ConfigurationError("warm_seed_depth must be >= 1")
 
 
 @dataclass(frozen=True)

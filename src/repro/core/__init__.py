@@ -23,6 +23,7 @@ from .backends import (
 )
 from .milp_solver import MilpPlacementSolver
 from .arbiter import Arbiter, ArbiterResult, BisectionArbiter, StealingArbiter, make_arbiter
+from .control_state import ControlState, CycleFingerprint, CycleTelemetry
 from .controller import ControlDecision, ControlDiagnostics, UtilityDrivenController
 from .demand import (
     LongRunningCurve,
@@ -32,7 +33,9 @@ from .demand import (
     effective_capacity,
 )
 from .hypothetical import (
+    EqualizerStats,
     HypotheticalAllocation,
+    HypotheticalEqualizer,
     equalize_hypothetical_utility,
     hypothetical_completion_times,
     longrunning_max_utility_demand,
@@ -59,7 +62,12 @@ __all__ = [
     "UtilityDrivenController",
     "ControlDecision",
     "ControlDiagnostics",
+    "ControlState",
+    "CycleFingerprint",
+    "CycleTelemetry",
+    "EqualizerStats",
     "HypotheticalAllocation",
+    "HypotheticalEqualizer",
     "equalize_hypothetical_utility",
     "mean_hypothetical_utility",
     "utility_level",

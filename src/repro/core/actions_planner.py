@@ -68,8 +68,8 @@ def plan_actions(
     starts: list[PlacementAction] = []
     adjustments: list[PlacementAction] = []
 
-    previous_ids = {entry.vm_id for entry in previous}
-    desired_ids = {entry.vm_id for entry in desired}
+    previous_ids = previous.vm_ids()
+    desired_ids = desired.vm_ids()
 
     # VMs leaving the placement.
     for vm_id in sorted(previous_ids - desired_ids):

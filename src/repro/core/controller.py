@@ -19,11 +19,22 @@ of ground-truth workload parameters: the experiment runner feeds it noisy
 observations (:meth:`UtilityDrivenController.observe_app`) and asks for a
 decision (:meth:`UtilityDrivenController.decide`), exactly as a deployed
 controller would sit behind a monitoring pipeline.
+
+Since the incremental control plane (:mod:`repro.core.control_state`),
+``decide()`` is no longer stateless: a :class:`ControlState` persists
+across cycles, fingerprints each cycle's inputs, and -- when consecutive
+cycles are compatible -- warm-starts the equalizations from the previous
+converged level.  Warm starts are *verified* and therefore
+result-preserving: a warm cycle's placement is bit-identical to a cold
+one's (see the control-state module docstring).  Each cycle also reports
+:class:`~repro.core.control_state.CycleTelemetry`: per-stage wall-times
+and equalizer cache statistics, which the experiment runner records.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Mapping, Optional, Sequence
 
 from ..cluster.actions import PlacementAction
@@ -41,6 +52,7 @@ from ..workloads.jobs import Job
 from ..workloads.transactional import TransactionalAppSpec
 from .actions_planner import plan_actions
 from .arbiter import ArbiterResult, make_arbiter
+from .control_state import ControlState, CycleFingerprint, CycleTelemetry
 from .demand import (
     LongRunningCurve,
     TransactionalAggregateCurve,
@@ -77,6 +89,9 @@ class ControlDiagnostics:
     arbiter_iterations: int
     population_size: int
     app_targets: Mapping[str, Mhz] = field(default_factory=dict)
+    #: Control-plane telemetry (stage wall-times, cache statistics); None
+    #: for policies that do not run the incremental control plane.
+    telemetry: Optional[CycleTelemetry] = None
 
 
 @dataclass(frozen=True)
@@ -103,6 +118,12 @@ class UtilityDrivenController:
         Optional utility shapes (default: the paper's linear utility).
         The job shape is applied to hypothetical slacks only through the
         long-running *mean*; the equalized level is shape-independent.
+    control_state:
+        Cross-cycle control-plane state.  Defaults to a fresh
+        :class:`~repro.core.control_state.ControlState` configured from
+        ``config`` (``warm_start`` / ``warm_demand_rtol`` /
+        ``warm_seed_depth``); pass one explicitly to share or inspect it
+        (benchmarks drive warm and cold controllers this way).
     """
 
     def __init__(
@@ -110,8 +131,14 @@ class UtilityDrivenController:
         app_specs: Sequence[TransactionalAppSpec],
         config: Optional[ControllerConfig] = None,
         tx_utility_shape: Optional[UtilityFunction] = None,
+        control_state: Optional[ControlState] = None,
     ) -> None:
         self.config = config or ControllerConfig()
+        self.control_state = control_state or ControlState(
+            warm=self.config.warm_start,
+            demand_rtol=self.config.warm_demand_rtol,
+            seed_depth=self.config.warm_seed_depth,
+        )
         self._specs = {spec.app_id: spec for spec in app_specs}
         self._utilities = {
             spec.app_id: TransactionalUtility(spec.rt_goal, tx_utility_shape)
@@ -194,7 +221,10 @@ class UtilityDrivenController:
         app_nodes:
             Per-app set of nodes currently hosting an instance.
         """
-        population = snapshot_jobs(jobs, t)
+        state = self.control_state
+        t0 = perf_counter()
+        included: list[Job] = []
+        population = snapshot_jobs(jobs, t, included=included)
         tx_curves = self._tx_curves()
         tx_curve = (
             tx_curves[0]
@@ -205,20 +235,57 @@ class UtilityDrivenController:
         capacity = effective_capacity(
             sum(n.cpu_capacity for n in nodes), self.config.capacity_efficiency
         )
+        fingerprint = CycleFingerprint.of(
+            nodes,
+            tuple(self._specs),
+            capacity,
+            tx_curve.max_utility_demand,
+            lr_curve.max_utility_demand,
+            len(population),
+        )
+        warm, cold_reason = state.begin_cycle(fingerprint)
+        if warm and state.lr_level is not None:
+            lr_curve.warm_seed(state.lr_level, state.seed_depth)
+        t1 = perf_counter()
 
         split = self._arbiter.split(capacity, tx_curve, lr_curve)
+        t2 = perf_counter()
         # One float-exact equalization per cycle: the arbiter's own curve
         # evaluations are coarse, only this result feeds per-job rates.
         hypothetical = lr_curve.equalize(split.lr_allocation)
+        t3 = perf_counter()
 
         app_targets = self._app_targets(tx_curves, tx_curve, split)
         app_requests = self._app_requests(app_targets, app_nodes)
-        job_requests = self._job_requests(jobs, population, hypothetical, t)
+        job_requests = self._job_requests(included, population, hypothetical)
+        t4 = perf_counter()
 
         solution = self._solver.solve(
             nodes, app_requests, job_requests, lr_target=split.lr_allocation
         )
+        t5 = perf_counter()
         actions = plan_actions(current_placement, solution.placement, vm_states)
+        t6 = perf_counter()
+
+        state.complete_cycle(fingerprint, hypothetical.utility_level, split.tx_allocation)
+        eq_stats = lr_curve.equalizer.stats
+        telemetry = CycleTelemetry(
+            mode="warm" if warm else "cold",
+            reason=cold_reason,
+            stage_ms={
+                "demand": (t1 - t0) * 1e3,
+                "arbiter": (t2 - t1) * 1e3,
+                "equalize": (t3 - t2) * 1e3,
+                "requests": (t4 - t3) * 1e3,
+                "solver": (t5 - t4) * 1e3,
+                "planner": (t6 - t5) * 1e3,
+                "total": (t6 - t0) * 1e3,
+            },
+            eq_evals=eq_stats.evals,
+            eq_cache_hits=eq_stats.cache_hits,
+            seed_hits=eq_stats.seed_hits,
+            seed_misses=eq_stats.seed_misses,
+        )
 
         diagnostics = ControlDiagnostics(
             time=t,
@@ -234,6 +301,7 @@ class UtilityDrivenController:
             arbiter_iterations=split.iterations,
             population_size=len(population),
             app_targets=dict(app_targets),
+            telemetry=telemetry,
         )
         return ControlDecision(
             actions=actions,
@@ -295,29 +363,37 @@ class UtilityDrivenController:
 
     def _job_requests(
         self,
-        jobs: Sequence[Job],
+        included: Sequence[Job],
         population: JobPopulation,
         hypothetical: HypotheticalAllocation,
-        t: Seconds,
     ) -> list[JobRequest]:
-        rate_by_id = dict(zip(population.job_ids, hypothetical.rates))
-        remaining_by_id = dict(zip(population.job_ids, population.remaining))
+        """Requests for the snapshot's jobs, in snapshot order.
+
+        ``included`` is the job list :func:`snapshot_jobs` collected, so
+        it is index-aligned with the population columns and the
+        hypothetical rates -- no id-keyed lookups on this hot path.
+        """
         requests = []
-        for job in jobs:
-            if job.job_id not in rate_by_id:
-                continue
-            requests.append(
-                JobRequest(
-                    job_id=job.job_id,
-                    vm_id=job.vm.vm_id,
-                    target_rate=float(rate_by_id[job.job_id]),
-                    speed_cap=job.spec.speed_cap_mhz,
-                    memory_mb=job.spec.memory_mb,
-                    current_node=job.node_id,
-                    was_suspended=job.vm.state is VmState.SUSPENDED,
-                    submit_time=job.spec.submit_time,
-                    importance=job.spec.importance,
-                    remaining_work=float(remaining_by_id[job.job_id]),
+        append = requests.append
+        suspended = VmState.SUSPENDED
+        trusted = JobRequest.trusted
+        for job, rate, rem in zip(
+            included, hypothetical.rates.tolist(), population.remaining.tolist()
+        ):
+            spec = job.spec
+            vm = job.vm
+            append(
+                trusted(
+                    spec.job_id,
+                    vm.vm_id,
+                    rate,
+                    spec.speed_cap_mhz,
+                    spec.memory_mb,
+                    vm.node_id,
+                    vm.state is suspended,
+                    spec.submit_time,
+                    spec.importance,
+                    rem,
                 )
             )
         return requests

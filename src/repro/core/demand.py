@@ -208,6 +208,21 @@ class LongRunningCurve:
         """The underlying job-population snapshot."""
         return self._population
 
+    @property
+    def equalizer(self) -> HypotheticalEqualizer:
+        """The shared equalization context (stats, warm seeding)."""
+        return self._equalizer
+
+    def warm_seed(self, level: float, depth: int) -> None:
+        """Seed the equalizer's bisections from a previous converged level.
+
+        The seed is verified per bisection against the cold invariant, so
+        every curve evaluation stays bit-identical (see
+        :meth:`repro.core.hypothetical.HypotheticalEqualizer.seed_level`).
+        """
+        if len(self._population):
+            self._equalizer.seed_level(level, depth)
+
     def equalize(self, allocation: Mhz) -> "HypotheticalAllocation":
         """Float-exact equalization at ``allocation``."""
         return self._equalizer.equalize(allocation)
@@ -218,8 +233,9 @@ class LongRunningCurve:
         memo = self._utility_memo.get(allocation)
         if memo is not None:
             return memo
-        result = self._equalizer.equalize(allocation, bisect_iters=_CURVE_EVAL_ITERS)
-        value = result.mean_utility if self._metric == "mean" else result.utility_level
+        value = self._equalizer.metric_at(
+            allocation, self._metric, bisect_iters=_CURVE_EVAL_ITERS
+        )
         self._utility_memo[allocation] = value
         return value
 

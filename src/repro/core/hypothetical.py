@@ -96,6 +96,29 @@ def _weighted_mean(values: np.ndarray, weights: np.ndarray) -> float:
     return float(np.dot(values, weights) / total_weight)
 
 
+class EqualizerStats:
+    """Consumed-curve evaluation accounting for one equalizer.
+
+    The control plane's telemetry (``repro.core.control_state``) reports
+    these per control cycle: how many consumed-curve evaluations actually
+    ran, how many were served by the shared memo, and how often the
+    cross-cycle warm seed verified (resuming the bisection mid-tree)
+    versus fell back to the cold bracket.
+    """
+
+    __slots__ = ("evals", "cache_hits", "seed_hits", "seed_misses")
+
+    def __init__(self) -> None:
+        self.evals = 0
+        self.cache_hits = 0
+        self.seed_hits = 0
+        self.seed_misses = 0
+
+
+#: Regime tags returned by ``HypotheticalEqualizer._solve_level``.
+_SURPLUS, _STARVED, _EQUALIZED = 0, 1, 2
+
+
 class HypotheticalEqualizer:
     """Reusable equalization context for one population snapshot.
 
@@ -106,16 +129,39 @@ class HypotheticalEqualizer:
     so each :meth:`equalize` call pays only for its bisection.  The
     arithmetic is operation-for-operation identical to the original
     single-shot routine (results are bit-identical).
+
+    Two further accelerations, both result-preserving:
+
+    * a **shared consumed-curve memo**: every bisection (coarse or exact,
+      at any allocation) starts from the same ``(u_lo, u_hi)`` bracket,
+      so the midpoints it visits form one dyadic tree per population.
+      Memoizing ``consumed(u)`` by exact float key lets the arbiter's
+      ~15 equalizations share root-side evaluations -- and lets the final
+      float-exact equalization replay its first iterations for free --
+      while reproducing the identical values an uncached run computes.
+    * a **verified warm seed** (:meth:`seed_level`): the previous control
+      cycle's converged utility level selects a candidate subtree at a
+      chosen depth; the bisection resumes there only after verifying the
+      invariant ``consumed(lo) <= allocation < consumed(hi)``, which (by
+      monotonicity of the consumed curve) identifies the *unique* node
+      the cold bisection would occupy at that depth.  A verified seed
+      therefore yields bit-identical results; an unverified one falls
+      back to the cold bracket.
     """
 
     __slots__ = (
-        "population", "_n", "_caps", "_weights", "_u_max", "_total_cap",
+        "population", "stats", "_n", "_caps", "_weights", "_u_max", "_total_cap",
         "_goals_abs", "_goal_lengths", "_remaining", "_t",
         "_no_work", "_has_no_work", "_slack", "_rates_buf", "_nonpos",
+        "_u_lo0", "_u_hi0", "_u_safe", "_memo", "_seed_level", "_seed_depth",
     )
 
     def __init__(self, population: JobPopulation) -> None:
         self.population = population
+        self.stats = EqualizerStats()
+        self._memo: dict[float, float] = {}
+        self._seed_level: float | None = None
+        self._seed_depth = 0
         n = self._n = len(population)
         if n == 0:
             return
@@ -132,6 +178,41 @@ class HypotheticalEqualizer:
         self._slack = np.empty(n, dtype=float)
         self._rates_buf = np.empty(n, dtype=float)
         self._nonpos = np.empty(n, dtype=bool)
+        # The bisection bracket is allocation-independent; hoisting it
+        # keeps every equalization on the identical dyadic tree.
+        self._u_hi0 = float(self._u_max.max())
+        self._u_lo0 = float(self._u_max.min()) - UTILITY_SEARCH_SPAN
+        # Conservative level below which every *computed* slack is
+        # provably positive, so the per-eval lateness mask can be skipped
+        # (see _consumed_at).  The bound over-counts the three rounding
+        # steps of the slack computation by >2x, then shaves a relative
+        # and absolute margin for its own rounding; being conservative
+        # only costs taking the masked path, never changes a result.
+        eps = 2.0**-52
+        u_span = max(abs(self._u_lo0), abs(self._u_hi0))
+        err = eps * (
+            3.0 * u_span * self._goal_lengths
+            + 2.0 * np.abs(self._goals_abs)
+            + abs(self._t)
+        )
+        u_safe = float(((self._goals_abs - self._t - err) / self._goal_lengths).min())
+        self._u_safe = u_safe - abs(u_safe) * 1e-12 - 1e-12
+
+    def seed_level(self, level: float, depth: int) -> None:
+        """Offer a warm-start hint for subsequent bisections.
+
+        ``level`` is typically the previous control cycle's converged
+        utility level; ``depth`` how many bisection iterations to skip
+        when the hint verifies.  The hint is advisory: each bisection
+        checks the invariant ``consumed(lo) <= allocation < consumed(hi)``
+        on the depth-``depth`` dyadic node containing ``level`` and
+        resumes there only on success, so results are bit-identical to an
+        unseeded run either way (see the class docstring).
+        """
+        if level != level:  # NaN guard: never seed from a poisoned level
+            return
+        self._seed_level = float(level)
+        self._seed_depth = int(depth)
 
     def _consumed_at(self, u: float) -> float:
         """``Σ min(x_j(u), c_j)`` on reused buffers.
@@ -144,15 +225,131 @@ class HypotheticalEqualizer:
         np.multiply(self._goal_lengths, u, out=slack)  # u * T_j
         np.subtract(self._goals_abs, slack, out=slack)  # G_j - u * T_j
         np.subtract(slack, self._t, out=slack)  # (G_j - u * T_j) - t
-        np.less_equal(slack, 0.0, out=nonpos)
-        np.maximum(slack, 1e-300, out=slack)
-        np.divide(self._remaining, slack, out=rates_buf)
-        if nonpos.any():
-            rates_buf[nonpos] = np.inf  # no finite rate reaches u
+        if u < self._u_safe:
+            # Every computed slack is provably positive at this level:
+            # the mask would be all-False, so skip building it.
+            np.maximum(slack, 1e-300, out=slack)
+            np.divide(self._remaining, slack, out=rates_buf)
+        else:
+            np.less_equal(slack, 0.0, out=nonpos)
+            np.maximum(slack, 1e-300, out=slack)
+            np.divide(self._remaining, slack, out=rates_buf)
+            if nonpos.any():
+                rates_buf[nonpos] = np.inf  # no finite rate reaches u
         if self._has_no_work:
             rates_buf[self._no_work] = 0.0
         np.minimum(rates_buf, self._caps, out=rates_buf)
         return float(rates_buf.sum())
+
+    def _consumed(self, u: float) -> float:
+        """Memoized :meth:`_consumed_at` (keys are exact float levels)."""
+        value = self._memo.get(u)
+        if value is not None:
+            self.stats.cache_hits += 1
+            return value
+        value = self._consumed_at(u)
+        self.stats.evals += 1
+        self._memo[u] = value
+        return value
+
+    def _descend(self, level: float, depth: int) -> tuple[float, float, int]:
+        """The depth-``depth`` dyadic node of the bisection tree containing
+        ``level``, computed with the bisection's own midpoint arithmetic so
+        its endpoints are bit-equal to the brackets a cold run carries."""
+        lo, hi = self._u_lo0, self._u_hi0
+        d = 0
+        while d < depth:
+            mid = 0.5 * (lo + hi)
+            if mid == lo or mid == hi:
+                break
+            if level < mid:
+                hi = mid
+            else:
+                lo = mid
+            d += 1
+        return lo, hi, d
+
+    def _solve_level(self, allocation: Mhz, bisect_iters: int) -> tuple[int, float]:
+        """Classify the regime at ``allocation`` and find its utility level.
+
+        Returns ``(_SURPLUS, u_hi0)``, ``(_STARVED, u_lo0)`` or
+        ``(_EQUALIZED, u_star)``; shared by :meth:`equalize` (full
+        result) and :meth:`metric_at` (scalar-only callers).
+        """
+        if allocation >= self._total_cap * (1 - _REL_EPS):
+            return _SURPLUS, self._u_hi0
+        consumed = self._consumed
+        u_lo = self._u_lo0
+        u_hi = self._u_hi0
+        if consumed(u_lo) > allocation:
+            return _STARVED, u_lo
+        iters = bisect_iters
+        if self._seed_level is not None:
+            # Invariant check: the seeded node must be the one the cold
+            # bisection occupies at its depth (unique by monotonicity of
+            # the consumed curve).  Cascade from the requested depth to
+            # shallower nodes: a deeper node tolerates less drift in the
+            # level, and failed probes stay in the memo where the resumed
+            # bisection can reuse them.
+            seeded = False
+            want = min(self._seed_depth, bisect_iters)
+            while want >= 1:
+                s_lo, s_hi, depth = self._descend(self._seed_level, want)
+                if (
+                    depth > 0
+                    and not consumed(s_lo) > allocation
+                    and consumed(s_hi) > allocation
+                ):
+                    u_lo, u_hi = s_lo, s_hi
+                    iters = bisect_iters - depth
+                    seeded = True
+                    break
+                want //= 2
+            if seeded:
+                self.stats.seed_hits += 1
+            else:
+                self.stats.seed_misses += 1
+        # Loop invariant: consumed(u_lo) <= allocation (checked above for
+        # the initial floor, preserved by construction).  Once the interval
+        # collapses to float resolution the midpoint lands on an endpoint and
+        # no further iteration can move ``u_lo``, so breaking early returns
+        # the *identical* result the fixed 100-iteration loop would -- it
+        # just skips the ~45 no-op evaluations past ~55 iterations.
+        for _ in range(iters):
+            u_mid = 0.5 * (u_lo + u_hi)
+            if u_mid == u_lo:
+                break  # consumed(u_lo) <= allocation: u_lo re-selected forever
+            if consumed(u_mid) > allocation:
+                if u_mid == u_hi:
+                    break  # u_hi re-selected forever; state frozen
+                u_hi = u_mid
+            else:
+                u_lo = u_mid
+        return _EQUALIZED, u_lo  # consumed(u_lo) <= allocation: never over-commits
+
+    def metric_at(
+        self, allocation: Mhz, metric: str, *, bisect_iters: int = _BISECT_ITERS
+    ) -> float:
+        """The ``"mean"`` or ``"level"`` scalar of :meth:`equalize`.
+
+        Skips the per-job rate computation the arbiter never looks at;
+        the returned scalar is bit-equal to the corresponding attribute
+        of the full :class:`HypotheticalAllocation`.
+        """
+        if allocation < 0:
+            raise ModelError(f"allocation must be non-negative, got {allocation}")
+        if self._n == 0:
+            return 1.0
+        regime, u = self._solve_level(allocation, bisect_iters)
+        u_max = self._u_max
+        if regime == _SURPLUS:
+            if metric == "level":
+                return float(u_max.max())
+            return _weighted_mean(u_max, self._weights)
+        if metric == "level":
+            return u
+        utilities = np.minimum(np.full(self._n, u), u_max)
+        return _weighted_mean(utilities, self._weights)
 
     def equalize(
         self, allocation: Mhz, *, bisect_iters: int = _BISECT_ITERS
@@ -178,8 +375,10 @@ class HypotheticalEqualizer:
         weights = self._weights
         u_max = self._u_max
 
-        # Surplus: the allocation covers every cap; no trade-off to make.
-        if allocation >= self._total_cap * (1 - _REL_EPS):
+        regime, level = self._solve_level(allocation, bisect_iters)
+
+        if regime == _SURPLUS:
+            # The allocation covers every cap; no trade-off to make.
             rates = np.where(population.remaining > 0, caps, 0.0)
             return HypotheticalAllocation(
                 utility_level=float(u_max.max()),
@@ -189,49 +388,27 @@ class HypotheticalEqualizer:
                 consumed=float(rates.sum()),
             )
 
-        consumed_at = self._consumed_at
-        u_hi = float(u_max.max())
-        u_lo = float(u_max.min()) - UTILITY_SEARCH_SPAN
-
-        if consumed_at(u_lo) > allocation:
-            # Starved regime: even the floor level over-consumes.  Scale the
-            # floor-level rates down proportionally; the level reported is the
-            # floor (finite), preserving monotonicity for the arbiter.
-            rates_floor = np.minimum(population.required_rates(u_lo), caps)
+        if regime == _STARVED:
+            # Even the floor level over-consumes.  Scale the floor-level
+            # rates down proportionally; the level reported is the floor
+            # (finite), preserving monotonicity for the arbiter.
+            rates_floor = np.minimum(population.required_rates(level), caps)
             total = float(rates_floor.sum())
             scale = allocation / total if total > 0 else 0.0
             rates = rates_floor * scale
-            utilities = np.minimum(np.full(n, u_lo), u_max)
+            utilities = np.minimum(np.full(n, level), u_max)
             return HypotheticalAllocation(
-                utility_level=u_lo,
+                utility_level=level,
                 rates=rates,
                 utilities=utilities,
                 mean_utility=_weighted_mean(utilities, weights),
                 consumed=float(rates.sum()),
             )
 
-        # Loop invariant: consumed_at(u_lo) <= allocation (checked above for
-        # the initial floor, preserved by construction).  Once the interval
-        # collapses to float resolution the midpoint lands on an endpoint and
-        # no further iteration can move ``u_lo``, so breaking early returns
-        # the *identical* result the fixed 100-iteration loop would -- it
-        # just skips the ~45 no-op evaluations past ~55 iterations.
-        for _ in range(bisect_iters):
-            u_mid = 0.5 * (u_lo + u_hi)
-            if u_mid == u_lo:
-                break  # consumed_at(u_lo) <= allocation: u_lo re-selected forever
-            if consumed_at(u_mid) > allocation:
-                if u_mid == u_hi:
-                    break  # u_hi re-selected forever; state frozen
-                u_hi = u_mid
-            else:
-                u_lo = u_mid
-        u_star = u_lo  # consumed_at(u_lo) <= allocation: never over-commits.
-
-        rates = np.minimum(population.required_rates(u_star), caps)
-        utilities = np.minimum(np.full(n, u_star), u_max)
+        rates = np.minimum(population.required_rates(level), caps)
+        utilities = np.minimum(np.full(n, level), u_max)
         return HypotheticalAllocation(
-            utility_level=u_star,
+            utility_level=level,
             rates=rates,
             utilities=utilities,
             mean_utility=_weighted_mean(utilities, weights),

@@ -80,6 +80,42 @@ class JobRequest:
         if self.remaining_work < 0:
             raise ConfigurationError(f"job {self.job_id}: negative remaining work")
 
+    @classmethod
+    def trusted(
+        cls,
+        job_id: str,
+        vm_id: str,
+        target_rate: Mhz,
+        speed_cap: Mhz,
+        memory_mb: Megabytes,
+        current_node: Optional[str],
+        was_suspended: bool,
+        submit_time: Seconds,
+        importance: float,
+        remaining_work: Cycles,
+    ) -> "JobRequest":
+        """Validation-free constructor for the controller's hot path.
+
+        The controller builds one request per incomplete job every control
+        cycle from values whose invariants are already enforced upstream
+        (spec validation for caps/memory, the equalizer's non-negative
+        rates, the snapshot's clamped remaining work), so re-checking them
+        per request is pure overhead.  External callers must use the
+        normal constructor: this one skips ``__post_init__``.
+        """
+        self = object.__new__(cls)
+        self.job_id = job_id
+        self.vm_id = vm_id
+        self.target_rate = target_rate
+        self.speed_cap = speed_cap
+        self.memory_mb = memory_mb
+        self.current_node = current_node
+        self.was_suspended = was_suspended
+        self.submit_time = submit_time
+        self.importance = importance
+        self.remaining_work = remaining_work
+        return self
+
     @property
     def urgency(self) -> float:
         """Urgency key: the equalized target rate (higher = more at risk)."""
@@ -136,8 +172,11 @@ def order_by_urgency(requests: Sequence[JobRequest]) -> list[JobRequest]:
     Deterministic total order -- identical inputs always produce the same
     placement decisions.
     """
+    # r.urgency is the target rate (see JobRequest.urgency); read the
+    # field directly to skip one property call per element on this
+    # every-cycle sort.
     return sorted(
-        requests, key=lambda r: (-r.urgency, r.submit_time, r.job_id)
+        requests, key=lambda r: (-r.target_rate, r.submit_time, r.job_id)
     )
 
 

@@ -47,6 +47,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+from operator import attrgetter
 from typing import Optional, Sequence
 
 import numpy as np
@@ -66,6 +67,12 @@ from .job_scheduler import (
 
 #: Allocation slivers below this many MHz are treated as zero.
 _MHZ_EPS = 1e-6
+
+#: Sort keys for the solver's deterministic orderings: identical orders to
+#: the former lambdas, without the per-element Python-frame cost.
+_by_app_id = attrgetter("app_id")
+_by_job_id = attrgetter("job_id")
+_by_vm_id = attrgetter("vm_id")
 
 #: Population size beyond which water-fill orders targets with numpy's
 #: stable argsort (identical order to the Python sort, smaller constant)
@@ -231,7 +238,7 @@ class PlacementSolver:
         apps: Sequence[AppRequest], state: _ClusterState
     ) -> None:
         """Commit the memory of instances that enter the cycle running."""
-        for app in sorted(apps, key=lambda a: a.app_id):
+        for app in sorted(apps, key=_by_app_id):
             for node_id in sorted(app.current_nodes):
                 if node_id in state:
                     i = state.pos[node_id]
@@ -252,7 +259,7 @@ class PlacementSolver:
         """
         running: list[JobRequest] = []
         waiting: list[JobRequest] = []
-        for request in sorted(jobs, key=lambda r: r.job_id):
+        for request in sorted(jobs, key=_by_job_id):
             if request.current_node is not None and request.current_node in state:
                 running.append(request)
             else:
@@ -272,7 +279,7 @@ class PlacementSolver:
             by_node.setdefault(request.current_node, []).append(request)
         for node_id in sorted(by_node):
             i = state.pos[node_id]
-            members = sorted(by_node[node_id], key=lambda r: r.job_id)
+            members = sorted(by_node[node_id], key=_by_job_id)
             targets = [min(r.target_rate, r.speed_cap) for r in members]
             grants = water_fill(targets, float(state.cpu[i]))
             for request, grant in zip(members, grants):
@@ -455,7 +462,7 @@ class PlacementSolver:
                     for e in solution.placement.entries_on(node_id)
                     if e.vm_id in caps
                 ),
-                key=lambda e: e.vm_id,
+                key=_by_vm_id,
             )
             if not entries:
                 continue
@@ -490,7 +497,7 @@ class PlacementSolver:
         budget: list[Optional[int]],
     ) -> None:
         """Phase 6: distribute app targets over instances; start/stop instances."""
-        for app in sorted(apps, key=lambda a: a.app_id):
+        for app in sorted(apps, key=_by_app_id):
             remaining = app.target_allocation
             instance_nodes = sorted(n for n in app.current_nodes if n in state)
             grants: dict[str, Mhz] = {}
@@ -582,14 +589,16 @@ class PlacementSolver:
     def _place_job(
         solution: PlacementSolution, request: JobRequest, node_id: str, grant: Mhz
     ) -> None:
+        # Trusted construction: the grant is clamped non-negative here and
+        # the footprint was validated on the request.
         grant = float(max(grant, 0.0))
         solution.placement.add(
-            PlacementEntry(
-                vm_id=request.vm_id,
-                node_id=node_id,
-                cpu_mhz=grant,
-                memory_mb=request.memory_mb,
-                kind=WorkloadKind.LONG_RUNNING,
+            PlacementEntry.trusted(
+                request.vm_id,
+                node_id,
+                grant,
+                request.memory_mb,
+                WorkloadKind.LONG_RUNNING,
             )
         )
         solution.job_rates[request.job_id] = grant

@@ -140,12 +140,25 @@ class ExperimentResult:
         not trace jobs that never ran); ``disruptive_actions`` counts
         budget-relevant placement changes; ``cycles`` counts control
         cycles.
+
+        Control-plane telemetry (policies running the incremental control
+        plane only; NaN otherwise): ``warm_cycle_fraction`` is the
+        share of cycles that ran warm, ``eq_cache_hit_rate`` the fraction
+        of consumed-curve lookups the equalizer's memo served, and
+        ``decide_ms_mean`` the mean decide() wall-time per cycle --
+        the one *nondeterministic* metric in this set (wall-clock).
         """
         rec = self.recorder
         horizon = self.scenario.horizon
         outcome = job_outcome_stats(self.jobs, horizon)
         tx_u = rec.series("tx_utility").time_average(0.0, horizon)
         lr_u = rec.series("lr_utility").time_average(0.0, horizon)
+        telem_cycles = rec.counter("warm_cycles") + rec.counter("cold_cycles")
+        eq_lookups = rec.counter("eq_evals_total") + rec.counter("eq_cache_hits_total")
+        if rec.has_series("stage_ms:total"):
+            decide_ms = float(rec.series("stage_ms:total").values.mean())
+        else:
+            decide_ms = math.nan
         return {
             "tx_utility": tx_u,
             "lr_utility": lr_u,
@@ -158,6 +171,17 @@ class ExperimentResult:
             "mean_job_utility": outcome.mean_utility,
             "disruptive_actions": float(self.action_log.disruptive_total),
             "cycles": float(self.cycles),
+            "warm_cycle_fraction": (
+                rec.counter("warm_cycles") / telem_cycles
+                if telem_cycles
+                else math.nan
+            ),
+            "eq_cache_hit_rate": (
+                rec.counter("eq_cache_hits_total") / eq_lookups
+                if eq_lookups
+                else math.nan
+            ),
+            "decide_ms_mean": decide_ms,
         }
 
     def to_dict(self) -> dict[str, object]:
@@ -545,6 +569,25 @@ class ExperimentRunner:
                                          - rec.series("lr_utility").value_at(t)))
         rec.record("arbiter_iterations", t, diag.arbiter_iterations)
         rec.record("changes", t, solution.changes)
+
+        # Control-plane telemetry (policies without the incremental
+        # control plane -- the baselines -- simply record nothing here).
+        # Naming contract: repro.sim.recorder module docstring.
+        telemetry = getattr(diag, "telemetry", None)
+        if telemetry is not None:
+            for stage, ms in telemetry.stage_ms.items():
+                rec.record(f"stage_ms:{stage}", t, ms)
+            warm = telemetry.mode == "warm"
+            rec.record("cycle_warm", t, 1.0 if warm else 0.0)
+            rec.record("eq_evals", t, telemetry.eq_evals)
+            rec.record("eq_cache_hits", t, telemetry.eq_cache_hits)
+            rec.bump("warm_cycles" if warm else "cold_cycles")
+            rec.bump("eq_evals_total", telemetry.eq_evals)
+            rec.bump("eq_cache_hits_total", telemetry.eq_cache_hits)
+            rec.bump("eq_seed_hits_total", telemetry.seed_hits)
+            rec.bump("eq_seed_misses_total", telemetry.seed_misses)
+            if not warm and telemetry.reason:
+                rec.bump(f"invalidations:{telemetry.reason}")
 
         counts = {phase: 0 for phase in JobPhase}
         for job in self._jobs.values():

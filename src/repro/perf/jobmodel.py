@@ -10,7 +10,7 @@ this module extracts the population state into a column-oriented
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from typing import Iterable, Optional, Sequence
 
 import numpy as np
 
@@ -98,12 +98,19 @@ class JobPopulation:
         return np.where(self.remaining <= 0, 0.0, rates)
 
 
-def snapshot_jobs(jobs: Iterable[Job], t: Seconds) -> JobPopulation:
+def snapshot_jobs(
+    jobs: Iterable[Job], t: Seconds, *, included: Optional[list[Job]] = None
+) -> JobPopulation:
     """Build a :class:`JobPopulation` of the *incomplete, submitted* jobs.
 
     Jobs are advanced conceptually to ``t`` (progress since their last
     update is accounted for without mutating them).  Completed, cancelled
     and not-yet-submitted jobs are excluded.
+
+    When ``included`` is given, the :class:`Job` objects that made it
+    into the snapshot are appended to it, in snapshot (column) order --
+    callers that need the jobs alongside the columns (the controller's
+    request builder) then avoid a second filtered pass keyed by id.
     """
     ids: list[str] = []
     remaining: list[float] = []
@@ -119,17 +126,23 @@ def snapshot_jobs(jobs: Iterable[Job], t: Seconds) -> JobPopulation:
     add_goal = goals_abs.append
     add_len = goal_lengths.append
     add_imp = importance.append
+    add_job = included.append if included is not None else None
     for job in jobs:
         spec = job.spec
         if spec.submit_time > t or not job.is_incomplete:
             continue
-        last_update = job.last_update
+        # Private-field reads (the public properties are trivial
+        # accessors): this loop touches every job every control cycle
+        # and the attribute-protocol overhead is measurable at scale.
+        last_update = job._last_update
         if t < last_update:
             raise ModelError(
                 f"job {job.job_id}: snapshot time {t} precedes last update "
                 f"{last_update}"
             )
-        rem = max(job.remaining_work - job.rate * (t - last_update), 0.0)
+        rem = max(job._remaining - job._rate * (t - last_update), 0.0)
+        if add_job is not None:
+            add_job(job)
         add_id(spec.job_id)
         add_rem(rem)
         add_cap(spec.speed_cap_mhz)

@@ -21,6 +21,26 @@ schema::
 Times and values are plain JSON numbers; strict-JSON producers (such as
 :meth:`ExperimentResult.to_json`) serialize non-finite samples as
 ``null``, which :meth:`Series.from_dict` maps back to NaN.
+
+Control-plane telemetry naming (additive ``repro.recorder/v1`` fields)
+----------------------------------------------------------------------
+Runs driven by the incremental control plane record, per control cycle:
+
+* ``stage_ms:<stage>`` series -- decide() wall-time per stage
+  (``demand`` / ``arbiter`` / ``equalize`` / ``requests`` / ``solver`` /
+  ``planner`` / ``total``), milliseconds;
+* ``cycle_warm`` series -- 1.0 for warm cycles, 0.0 for cold;
+* ``eq_evals`` / ``eq_cache_hits`` series -- consumed-curve evaluations
+  performed / served by the equalizer's shared memo that cycle;
+* counters ``warm_cycles`` / ``cold_cycles``, ``eq_evals_total`` /
+  ``eq_cache_hits_total``, ``eq_seed_hits_total`` /
+  ``eq_seed_misses_total``, and ``invalidations:<reason>`` (one counter
+  per observed cold-cycle cause, e.g. ``invalidations:topology-changed``).
+
+These are ordinary series/counters -- schema consumers that predate them
+simply see extra names, which is the recorder's documented forward-
+compatible evolution path (new names may appear; existing names keep
+their meaning).
 """
 
 from __future__ import annotations

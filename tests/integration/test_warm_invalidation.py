@@ -1,0 +1,80 @@
+"""Cache invalidation end-to-end: warm runs == cold runs, through failures.
+
+The failure-recovery scenario kills and restores a node mid-run; the
+overload scenario ramps transactional demand far beyond capacity.  Both
+must (a) trigger the control plane's fingerprint invalidation -- topology
+change and demand shift respectively -- and (b) produce placements and
+metrics identical to a cold-started controller's, post-failure included:
+warm starts are verified and therefore result-preserving.
+"""
+
+import math
+
+from repro.api import run_experiment
+
+#: Summary keys that legitimately differ between a warm and a cold run:
+#: wall-clock and the telemetry of the warm machinery itself.
+_TELEMETRY_KEYS = {"decide_ms_mean", "warm_cycle_fraction", "eq_cache_hit_rate"}
+
+#: Series recording the control plane's own behaviour (timings, cache
+#: statistics); every other series must match bit for bit.
+_TELEMETRY_SERIES_PREFIXES = ("stage_ms:", "cycle_warm", "eq_evals", "eq_cache_hits")
+
+
+def _is_telemetry_series(name):
+    return name.startswith(_TELEMETRY_SERIES_PREFIXES)
+
+
+def _assert_runs_identical(warm, cold):
+    assert warm.cycles == cold.cycles
+
+    a, b = warm.summary_metrics(), cold.summary_metrics()
+    assert a.keys() == b.keys()
+    for key in a.keys() - _TELEMETRY_KEYS:
+        assert a[key] == b[key] or (
+            math.isnan(a[key]) and math.isnan(b[key])
+        ), key
+
+    warm_entries = {e.vm_id: e for e in warm.final_placement}
+    cold_entries = {e.vm_id: e for e in cold.final_placement}
+    assert warm_entries == cold_entries
+
+    warm_series = [n for n in warm.recorder.series_names() if not _is_telemetry_series(n)]
+    cold_series = [n for n in cold.recorder.series_names() if not _is_telemetry_series(n)]
+    assert warm_series == cold_series
+    for name in warm_series:
+        sa, sb = warm.recorder.series(name), cold.recorder.series(name)
+        assert list(sa.times) == list(sb.times), name
+        assert list(sa.values) == list(sb.values), name
+
+
+def test_failure_recovery_warm_matches_cold_and_invalidates():
+    warm = run_experiment("failure-recovery")
+    cold = run_experiment(
+        "failure-recovery", overrides={"controller.warm_start": False}
+    )
+    _assert_runs_identical(warm, cold)
+
+    counters = warm.recorder.counters
+    # The node failure and the restore must each force a cold cycle.
+    assert counters.get("invalidations:topology-changed", 0.0) >= 2
+    assert counters.get("warm_cycles", 0.0) > 0
+    assert warm.summary_metrics()["warm_cycle_fraction"] > 0.5
+    # The cold run reports itself as fully cold.
+    assert cold.recorder.counter("warm_cycles") == 0.0
+    assert cold.summary_metrics()["warm_cycle_fraction"] == 0.0
+
+
+def test_overload_demand_shift_invalidates_and_matches_cold():
+    # The registry's overload ramp is smoothed by the demand estimator, so
+    # pin a tight fingerprint tolerance to exercise the demand-shift rule.
+    overrides = {"controller.warm_demand_rtol": 0.05}
+    warm = run_experiment("overload", overrides=overrides)
+    cold = run_experiment(
+        "overload", overrides={**overrides, "controller.warm_start": False}
+    )
+    _assert_runs_identical(warm, cold)
+
+    counters = warm.recorder.counters
+    assert counters.get("invalidations:demand-shift", 0.0) >= 1
+    assert counters.get("warm_cycles", 0.0) > 0

@@ -27,20 +27,31 @@ def short_smoke_result():
 
 class TestExperiment:
     def test_facade_matches_direct_runner(self):
-        """The declarative path reproduces the hand-wired path exactly."""
+        """The declarative path reproduces the hand-wired path exactly.
+
+        ``decide_ms_mean`` is the documented wall-clock (nondeterministic)
+        metric, so it is compared for presence rather than value.
+        """
         direct = run_scenario(
             dataclasses.replace(smoke_scenario(seed=7), horizon=1800.0)
         )
         facade = run_experiment("smoke", seed=7, overrides={"horizon": 1800.0})
-        assert facade.summary_metrics() == direct.summary_metrics()
+        a, b = facade.summary_metrics(), direct.summary_metrics()
+        assert a.keys() == b.keys()
+        assert a["decide_ms_mean"] > 0 and b["decide_ms_mean"] > 0
+        for key in a.keys() - {"decide_ms_mean"}:
+            assert a[key] == b[key], key
 
     def test_json_round_trip_is_metric_identical(self):
-        """Acceptance: spec -> JSON -> spec runs byte-identically."""
+        """Acceptance: spec -> JSON -> spec runs byte-identically.
+
+        All metrics except the documented wall-clock one.
+        """
         spec = scenario_spec("smoke").with_overrides({"horizon": 1800.0})
         rebuilt = ScenarioSpec.from_json(spec.to_json())
         a = Experiment.from_spec(spec).run().summary_metrics()
         b = Experiment.from_spec(rebuilt).run().summary_metrics()
-        for key in a:
+        for key in a.keys() - {"decide_ms_mean"}:
             assert a[key] == b[key] or (
                 math.isnan(a[key]) and math.isnan(b[key])
             ), key

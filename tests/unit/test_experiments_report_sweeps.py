@@ -89,6 +89,8 @@ class TestParallelSweeps:
         )
         assert parallel.parameters() == serial.parameters()
         for key in serial.points[0].metrics:
+            if key == "decide_ms_mean":  # documented wall-clock metric
+                continue
             assert parallel.metric(key) == serial.metric(key)
 
     def test_invalid_workers_rejected(self):
