@@ -5,46 +5,68 @@ placement beats static partitioning (reference [6]) and priority
 heuristics, because those maximize one workload's satisfaction by
 sacrificing the other.  All policies run the identical scaled scenario
 on the identical simulated substrate.
+
+Since the replication subsystem, the comparison is *replicated*: every
+policy runs the same seed set (``BENCH_REPLICATIONS`` seeds, default 3,
+fanned out over a process pool) and the table reports per-metric mean ±
+95% CI across seeds, so the min-utility ordering is a statement about
+distributions rather than one draw.  ``BENCH_SMOKE=1`` drops to a single
+seed for CI-speed runs.
 """
+
+import os
 
 import pytest
 
-from repro.api import available_policies, run_experiment, scenario_spec
-from repro.experiments import comparison_table, run_scenario
+from repro.api import available_policies, replicate_spec, scenario_spec
+from repro.experiments import replication_table
 
 
-def min_utility(result) -> float:
-    rec = result.recorder
-    horizon = result.scenario.horizon
-    return min(
-        rec.series("tx_utility").time_average(0.0, horizon),
-        rec.series("lr_utility").time_average(0.0, horizon),
+def _replications() -> int:
+    if os.environ.get("BENCH_SMOKE"):
+        return 1
+    return int(os.environ.get("BENCH_REPLICATIONS", "3"))
+
+
+def _workers() -> int:
+    return max(1, min(os.cpu_count() or 1, _replications()))
+
+
+def _replicate(policy: str):
+    spec = scenario_spec("consolidation", scale=0.2, seed=42)
+    return replicate_spec(
+        spec,
+        policy=policy,
+        replications=_replications(),
+        workers=_workers(),
     )
 
 
 @pytest.fixture(scope="module")
 def baseline_runs():
-    spec = scenario_spec("consolidation", scale=0.2, seed=42)
     return {
-        name: run_experiment(spec, policy=name)
+        name: _replicate(name)
         for name in available_policies()
         if name != "utility"
     }
 
 
 def test_policy_comparison(benchmark, baseline_runs):
-    """Benchmark the utility-driven run; compare against all baselines."""
-    scenario = scenario_spec("consolidation", scale=0.2, seed=42).materialize()
+    """Benchmark the utility-driven replication; compare against baselines."""
     ours = benchmark.pedantic(
-        lambda: run_scenario(scenario), rounds=2, iterations=1, warmup_rounds=0
+        lambda: _replicate("utility"), rounds=1, iterations=1, warmup_rounds=0
     )
 
-    results = {"utility-driven": ours, **baseline_runs}
-    print("\n" + comparison_table(results))
+    results = [ours, *baseline_runs.values()]
+    print("\n" + replication_table(results))
 
-    ours_min = min_utility(ours)
-    print(f"\nmin-utility: utility-driven = {ours_min:.3f}")
+    ours_min = ours.metric("min_utility")
+    print(f"\nmin-utility: utility-driven mean = {ours_min.mean:.3f} "
+          f"(n={ours_min.n}, 95% CI ± {ours_min.ci95_halfwidth:.3f})")
     for name, result in baseline_runs.items():
-        other = min_utility(result)
-        print(f"min-utility: {name} = {other:.3f}")
-        assert ours_min > other, f"{name} should lose on min utility"
+        other = result.metric("min_utility")
+        print(f"min-utility: {name} mean = {other.mean:.3f} "
+              f"(± {other.ci95_halfwidth:.3f})")
+        assert ours_min.mean > other.mean, (
+            f"{name} should lose on mean min utility"
+        )

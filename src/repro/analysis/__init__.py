@@ -4,7 +4,9 @@ and automated paper-shape validation."""
 from .ascii_plot import ascii_plot
 from .stats import (
     JobOutcomeStats,
+    MetricAggregate,
     Summary,
+    aggregate_metrics,
     equalization_error,
     job_outcome_stats,
     job_outcomes_by_class,
@@ -22,6 +24,8 @@ from .validate import CheckResult, ValidationReport, validate_paper_run
 __all__ = [
     "ascii_plot",
     "Summary",
+    "MetricAggregate",
+    "aggregate_metrics",
     "JobOutcomeStats",
     "equalization_error",
     "job_outcome_stats",

@@ -48,6 +48,128 @@ class Summary:
         )
 
 
+@dataclass(frozen=True)
+class MetricAggregate:
+    """One metric aggregated across replications (seeds).
+
+    ``n`` counts the *finite* samples the statistics are computed from;
+    non-finite samples (a metric that is NaN for some seed, e.g.
+    ``on_time_fraction`` when nothing completed) are dropped before
+    aggregation.  With no finite samples every statistic is NaN and
+    ``n`` is 0.  ``std`` is the sample standard deviation (ddof=1),
+    defined as 0.0 for ``n == 1`` so a single replication degenerates to
+    a point estimate: ``ci95_lo == mean == ci95_hi``.
+
+    The 95% confidence interval uses the Student-t critical value with
+    ``n - 1`` degrees of freedom, the standard small-sample interval for
+    replicated simulation experiments.
+
+    Aggregation is *permutation-invariant*: samples are sorted before
+    any floating-point reduction, so the same multiset of per-seed
+    values always produces bit-identical statistics regardless of seed
+    order.
+    """
+
+    n: int
+    mean: float
+    std: float
+    ci95_lo: float
+    ci95_hi: float
+    minimum: float
+    maximum: float
+
+    @property
+    def ci95_halfwidth(self) -> float:
+        """Half-width of the 95% confidence interval."""
+        return (self.ci95_hi - self.ci95_lo) / 2.0
+
+    @classmethod
+    def of(cls, values: Iterable[float]) -> "MetricAggregate":
+        """Aggregate a sample of per-replication metric values."""
+        arr = np.asarray(list(values), dtype=float)
+        arr = np.sort(arr[np.isfinite(arr)])  # sort: permutation-invariant
+        n = int(arr.size)
+        if n == 0:
+            nan = math.nan
+            return cls(0, nan, nan, nan, nan, nan, nan)
+        # Clamp away float-summation drift: the sample mean lies in
+        # [min, max] mathematically, but pairwise summation can land one
+        # ulp outside for constant samples.
+        mean = min(max(float(arr.mean()), float(arr[0])), float(arr[-1]))
+        if n == 1:
+            return cls(1, mean, 0.0, mean, mean, mean, mean)
+        std = float(arr.std(ddof=1))
+        half = _t_critical_95(n - 1) * std / math.sqrt(n)
+        return cls(
+            n=n,
+            mean=mean,
+            std=std,
+            ci95_lo=mean - half,
+            ci95_hi=mean + half,
+            minimum=float(arr[0]),
+            maximum=float(arr[-1]),
+        )
+
+    def to_dict(self) -> dict[str, float]:
+        """Plain-dict form (the ``repro.result-replicated/v1`` layout)."""
+        return {
+            "n": self.n,
+            "mean": self.mean,
+            "std": self.std,
+            "ci95_lo": self.ci95_lo,
+            "ci95_hi": self.ci95_hi,
+            "min": self.minimum,
+            "max": self.maximum,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "MetricAggregate":
+        def _num(key: str) -> float:
+            value = data.get(key)
+            return float(value) if isinstance(value, (int, float)) else math.nan
+
+        return cls(
+            n=int(data.get("n", 0)),  # type: ignore[call-overload]
+            mean=_num("mean"),
+            std=_num("std"),
+            ci95_lo=_num("ci95_lo"),
+            ci95_hi=_num("ci95_hi"),
+            minimum=_num("min"),
+            maximum=_num("max"),
+        )
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.mean:.4g} ± {self.ci95_halfwidth:.2g} (n={self.n})"
+
+
+def _t_critical_95(dof: int) -> float:
+    """Two-sided 95% Student-t critical value for ``dof`` degrees of freedom."""
+    from scipy.stats import t as _student_t
+
+    return float(_student_t.ppf(0.975, dof))
+
+
+def aggregate_metrics(
+    summaries: Sequence[Mapping[str, float]],
+) -> dict[str, MetricAggregate]:
+    """Per-metric :class:`MetricAggregate` over per-replication summaries.
+
+    Metrics are keyed by name; the result covers the union of keys (a
+    metric missing from some replication contributes no sample there).
+    Raises when ``summaries`` is empty -- aggregating zero replications
+    is a caller bug, not an empty table.
+    """
+    if not summaries:
+        raise ConfigurationError("cannot aggregate zero replications")
+    keys = sorted({key for summary in summaries for key in summary})
+    return {
+        key: MetricAggregate.of(
+            summary[key] for summary in summaries if key in summary
+        )
+        for key in keys
+    }
+
+
 def equalization_error(tx_utility: np.ndarray, lr_utility: np.ndarray) -> float:
     """Mean absolute utility gap -- how well the arbiter equalized."""
     tx = np.asarray(tx_utility, dtype=float)

@@ -10,7 +10,8 @@ Everything needed to describe, run and export an experiment lives here:
   :func:`available_scenarios`, :func:`register_scenario`) naming the
   repository's evaluation scenarios: ``paper``, ``smoke``,
   ``failure-recovery``, ``service-differentiation``, ``consolidation``,
-  ``heterogeneous-cluster``, ``overload``;
+  ``heterogeneous-cluster``, ``overload``,
+  ``multi-app-differentiation``, ``diurnal``;
 * the **policy registry** (:func:`get_policy`,
   :func:`available_policies`, :func:`register_policy`, re-exported from
   :mod:`repro.baselines.registry`) naming the utility-driven controller
@@ -21,7 +22,13 @@ Everything needed to describe, run and export an experiment lives here:
   :class:`~repro.experiments.runner.ExperimentResult` with
   ``summary_metrics()`` / ``to_json()`` / ``export_csv()``;
 * :func:`run_sweep` -- fan-out parameter grids (``workers=N`` uses a
-  process pool).
+  process pool);
+* **replication** -- :meth:`Experiment.replicate` / :func:`replicate_spec`
+  run one spec across many seeds and aggregate every summary metric into
+  mean / std / 95% CI / min / max
+  (:class:`~repro.experiments.replication.ReplicatedResult`, schema
+  ``repro.result-replicated/v1``); :func:`load_result` reads saved
+  payloads of either result schema back for ``repro report``.
 
 The ``python -m repro`` CLI (:mod:`repro.cli`) is a thin shell over this
 module.
@@ -34,6 +41,12 @@ from ..baselines.registry import (
     register_policy,
 )
 from ..core.backends import available_backends
+from ..experiments.replication import (
+    REPLICATED_RESULT_SCHEMA,
+    ReplicatedResult,
+    load_result,
+    replicate_spec,
+)
 from ..experiments.runner import ExperimentResult
 from ..experiments.sweeps import run_sweep, sweep_table
 from .experiment import Experiment, SpecLike, resolve_spec, run_experiment
@@ -92,4 +105,9 @@ __all__ = [
     "ExperimentResult",
     "run_sweep",
     "sweep_table",
+    # replication
+    "ReplicatedResult",
+    "REPLICATED_RESULT_SCHEMA",
+    "replicate_spec",
+    "load_result",
 ]

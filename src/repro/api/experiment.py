@@ -22,9 +22,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Mapping, Optional, Union
+from typing import Mapping, Optional, Sequence, Union
 
 from ..baselines.registry import get_policy
+from ..experiments.replication import ReplicatedResult, replicate_spec
 from ..experiments.runner import ExperimentResult, ExperimentRunner
 from ..experiments.scenario import Scenario
 from .scenarios import scenario_spec
@@ -96,7 +97,36 @@ class Experiment:
     def run(self) -> ExperimentResult:
         """Execute the scenario under the named policy."""
         scenario = self.spec.materialize()
-        return ExperimentRunner(scenario, get_policy(self.policy)).run()
+        result = ExperimentRunner(scenario, get_policy(self.policy)).run()
+        result.policy = self.policy
+        return result
+
+    def replicate(
+        self,
+        *,
+        seeds: Optional[Sequence[int]] = None,
+        replications: Optional[int] = None,
+        workers: Optional[int] = None,
+    ) -> ReplicatedResult:
+        """Run the experiment once per seed and aggregate across seeds.
+
+        Either an explicit ``seeds`` sequence or ``replications``
+        consecutive seeds starting at the spec's own seed; every other
+        scenario parameter is held fixed.  ``workers`` > 1 fans the seed
+        variants out over the :func:`~repro.experiments.sweeps.run_sweep`
+        process pool.  Returns a
+        :class:`~repro.experiments.replication.ReplicatedResult` whose
+        per-metric mean / std / 95% CI / min / max are computed by
+        :mod:`repro.analysis.stats` and serialize under the
+        ``repro.result-replicated/v1`` schema.
+        """
+        return replicate_spec(
+            self.spec,
+            policy=self.policy,
+            seeds=seeds,
+            replications=replications,
+            workers=workers,
+        )
 
 
 def run_experiment(

@@ -1,9 +1,10 @@
 """Named scenario registry.
 
 Every evaluation scenario of the repository -- the paper's Figure 1/2
-run, the fast smoke test, failure injection, service differentiation,
-the consolidation-vs-static comparison bed, a heterogeneous cluster and
-deep overload -- is registered here as a *builder* returning a
+run, the fast smoke test, failure injection, service differentiation
+(batch classes and multi-app web rt goals), the consolidation-vs-static
+comparison bed, a heterogeneous cluster, deep overload and a diurnal
+day -- is registered here as a *builder* returning a
 :class:`~repro.api.spec.ScenarioSpec`, so experiments are reproducible
 from a name alone:
 
@@ -38,6 +39,7 @@ from ..workloads.tracegen import PAPER_JOB_TEMPLATE, JobTemplate
 from .spec import (
     AppSpec,
     ConstantProfileSpec,
+    DiurnalProfileSpec,
     JobTraceSpec,
     NoisyProfileSpec,
     ProfileSpec,
@@ -100,16 +102,25 @@ def _paper_app(
     noise_rel_std: float = 0.04,
     noise_seed: int = 104729,
     max_instances: int = 25,
+    app_id: str = "webapp",
+    rt_goal: float = PAPER_RT_GOAL,
+    profile: ProfileSpec | None = None,
 ) -> AppSpec:
-    """Spec mirror of :func:`repro.experiments.scenario.paper_tx_app`."""
-    profile: ProfileSpec = ConstantProfileSpec(sessions)
+    """Spec mirror of :func:`repro.experiments.scenario.paper_tx_app`.
+
+    ``profile`` replaces the constant paper intensity (noise still wraps
+    it when ``noise_rel_std`` > 0); ``app_id``/``rt_goal`` support the
+    multi-app differentiation scenarios.
+    """
+    if profile is None:
+        profile = ConstantProfileSpec(sessions)
     if noise_rel_std > 0:
         profile = NoisyProfileSpec(
             base=profile, rel_std=noise_rel_std, interval=600.0, seed=noise_seed
         )
     return AppSpec(
-        app_id="webapp",
-        rt_goal=PAPER_RT_GOAL,
+        app_id=app_id,
+        rt_goal=rt_goal,
         mean_service_cycles=PAPER_SERVICE_CYCLES,
         request_cap_mhz=3000.0,
         instance_memory_mb=400.0,
@@ -316,6 +327,81 @@ def heterogeneous_cluster(seed: int = 21) -> ScenarioSpec:
     )
 
 
+def multi_app_differentiation(seed: int = 13) -> ScenarioSpec:
+    """Two web applications with different response-time goals.
+
+    Transactional-side service differentiation: a premium app with a
+    tight rt goal (half the paper's) and a budget app with a loose one
+    (2.5x the paper's) share the scaled cluster with the batch workload.
+    The utility controller should hold the premium app's response time
+    by shifting capacity from the budget app under contention, not by
+    starving the long-running jobs.
+    """
+    num_nodes, node_ratio, jobs = _scaled_paper_parts(0.2)
+    sessions = PAPER_SESSIONS * node_ratio
+    return ScenarioSpec(
+        name="multi-app-differentiation",
+        seed=seed,
+        horizon=40_000.0,
+        topology=TopologySpec(num_nodes=num_nodes),
+        apps=(
+            _paper_app(
+                sessions=sessions * 0.55,
+                max_instances=num_nodes,
+                app_id="web-premium",
+                rt_goal=PAPER_RT_GOAL * 0.5,
+                noise_seed=104729,
+            ),
+            _paper_app(
+                sessions=sessions * 0.45,
+                max_instances=num_nodes,
+                app_id="web-budget",
+                rt_goal=PAPER_RT_GOAL * 2.5,
+                noise_seed=15485863,
+            ),
+        ),
+        jobs=jobs,
+    )
+
+
+def diurnal(seed: int = 17) -> ScenarioSpec:
+    """A full day under a sinusoidal (diurnal) transactional load.
+
+    The web workload swings +-60% around the paper's scaled intensity
+    over a 24 h period (trough at night, peak mid-day), while batch jobs
+    arrive all day; the controller has to consolidate toward the jobs at
+    night and hand capacity back for the daytime peak.
+    """
+    num_nodes, node_ratio, _ = _scaled_paper_parts(0.2)
+    base_sessions = PAPER_SESSIONS * node_ratio
+    day = 86_400.0
+    return ScenarioSpec(
+        name="diurnal",
+        seed=seed,
+        horizon=day,
+        topology=TopologySpec(num_nodes=num_nodes),
+        apps=(
+            _paper_app(
+                sessions=base_sessions,
+                max_instances=num_nodes,
+                profile=DiurnalProfileSpec(
+                    base=base_sessions,
+                    amplitude=0.6 * base_sessions,
+                    period=day,
+                    # Trough at t=0 (night), peak mid-day.
+                    phase=day / 4,
+                ),
+            ),
+        ),
+        jobs=JobTraceSpec(
+            kind="paper",
+            count=90,
+            mean_interarrival=900.0,
+            rate_drop_time=72_000.0,
+        ),
+    )
+
+
 def overload(seed: int = 5) -> ScenarioSpec:
     """Deep aggregate overload: offered demand well above capacity.
 
@@ -351,3 +437,5 @@ register_scenario("service-differentiation", service_differentiation)
 register_scenario("consolidation", consolidation)
 register_scenario("heterogeneous-cluster", heterogeneous_cluster)
 register_scenario("overload", overload)
+register_scenario("multi-app-differentiation", multi_app_differentiation)
+register_scenario("diurnal", diurnal)

@@ -11,12 +11,21 @@ placement policy, with spec-level overrides::
     repro show heterogeneous-cluster --format toml > hetero.toml
     repro sweep smoke --param controller.control_cycle \\
         --values 300,600,1200 --workers 3
+    repro run paper --replications 5 --workers 5 --json out.json
+    repro report out.json other.json           # tables, no re-running
 
 ``--set key=value`` addresses the spec's :meth:`ScenarioSpec.to_dict`
 form by dotted path (``controller.solver.backend=milp``,
 ``apps.0.rt_goal=0.3``); values parse as JSON with a plain-string
 fallback.  ``repro run`` prints the run summary and optionally exports
 the full result (``--json out.json``, ``--csv outdir/``).
+
+``repro run --replications N`` (or ``--seeds 1,2,3``) runs the scenario
+once per seed -- over a process pool with ``--workers`` -- and exports a
+``repro.result-replicated/v1`` payload (per-metric mean, std, 95% CI,
+min/max across seeds).  ``repro report FILE...`` renders a
+policy-comparison table (policy x metric, mean ± CI) from saved result
+files of either schema without re-running anything.
 """
 
 from __future__ import annotations
@@ -35,12 +44,17 @@ from .api import (
     available_policies,
     available_scenarios,
     get_policy,
+    load_result,
     run_sweep,
     scenario_spec,
     sweep_table,
 )
 from .errors import ReproError
-from .experiments.report import summarize_run
+from .experiments.report import (
+    replication_summary,
+    replication_table,
+    summarize_run,
+)
 from .experiments.scenario import Scenario
 
 
@@ -119,7 +133,35 @@ def _cmd_show(args: argparse.Namespace) -> int:
 
 def _cmd_run(args: argparse.Namespace) -> int:
     spec = _load_spec(args)
-    result = Experiment.from_spec(spec, policy=args.policy).run()
+    experiment = Experiment.from_spec(spec, policy=args.policy)
+    if args.replications is None and args.seeds is None:
+        if args.workers is not None:
+            raise SystemExit(
+                "--workers only applies to replicated runs; add "
+                "--replications N or --seeds LIST (or use `repro sweep`)"
+            )
+    else:
+        seeds = None
+        if args.seeds is not None:
+            try:
+                seeds = [int(s) for s in args.seeds.split(",") if s != ""]
+            except ValueError:
+                raise SystemExit(
+                    f"--seeds expects a comma-separated integer list, "
+                    f"got {args.seeds!r}"
+                ) from None
+        replicated = experiment.replicate(
+            seeds=seeds, replications=args.replications, workers=args.workers
+        )
+        print(replication_summary(replicated))
+        if args.json is not None:
+            replicated.save(args.json)
+            print(f"\nreplicated result written to {args.json}")
+        if args.csv is not None:
+            paths = replicated.export_csv(args.csv)
+            print(f"\nCSV written to {', '.join(str(p) for p in paths)}")
+        return 0
+    result = experiment.run()
     print(summarize_run(result))
     if args.json is not None:
         Path(args.json).write_text(result.to_json() + "\n")
@@ -127,6 +169,19 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if args.csv is not None:
         paths = result.export_csv(args.csv)
         print(f"\nCSV written to {', '.join(str(p) for p in paths)}")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    results = [load_result(path) for path in args.files]
+    metrics = None
+    if args.metrics:
+        metrics = [m for m in args.metrics.split(",") if m != ""]
+    scenarios = sorted({r.scenario_name for r in results})
+    print(f"report over {len(results)} result file(s); "
+          f"scenario(s): {', '.join(scenarios)}")
+    print()
+    print(replication_table(results, metrics=metrics))
     return 0
 
 
@@ -208,13 +263,46 @@ def build_parser() -> argparse.ArgumentParser:
     _add_spec_arguments(p_run)
     p_run.add_argument(
         "--json", type=Path, default=None, metavar="FILE",
-        help="write the full result (repro.result/v1) as JSON",
+        help="write the full result as JSON (repro.result/v1, or "
+             "repro.result-replicated/v1 when replicating)",
     )
     p_run.add_argument(
         "--csv", type=Path, default=None, metavar="DIR",
-        help="write series.csv and summary.csv to this directory",
+        help="write series.csv and summary.csv (or aggregates.csv and "
+             "per_seed.csv when replicating) to this directory",
+    )
+    p_run.add_argument(
+        "--replications", type=int, default=None, metavar="N",
+        help="run N seed variants (consecutive seeds from the scenario "
+             "seed) and report mean/95%% CI per metric",
+    )
+    p_run.add_argument(
+        "--seeds", default=None, metavar="LIST",
+        help="explicit comma-separated seed list (alternative to "
+             "--replications)",
+    )
+    p_run.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="fan replications out over N worker processes",
     )
     p_run.set_defaults(func=_cmd_run)
+
+    p_report = sub.add_parser(
+        "report",
+        help="render a policy-comparison table from saved result files "
+             "without re-running",
+    )
+    p_report.add_argument(
+        "files", nargs="+", type=Path, metavar="FILE",
+        help="saved result JSON (repro.result/v1 or "
+             "repro.result-replicated/v1)",
+    )
+    p_report.add_argument(
+        "--metrics", default=None, metavar="LIST",
+        help="comma-separated metric columns (default: the paper-facing "
+             "summary metrics)",
+    )
+    p_report.set_defaults(func=_cmd_report)
 
     p_show = sub.add_parser(
         "show", help="print a scenario's spec (after overrides) and exit"

@@ -9,7 +9,20 @@ from .figures import (
     run_paper_experiment,
     write_csv,
 )
-from .report import comparison_table, format_table, summarize_run
+from .replication import (
+    REPLICATED_RESULT_SCHEMA,
+    ReplicatedResult,
+    load_result,
+    replicate_spec,
+    resolve_seeds,
+)
+from .report import (
+    comparison_table,
+    format_table,
+    replication_summary,
+    replication_table,
+    summarize_run,
+)
 from .runner import (
     ExperimentResult,
     ExperimentRunner,
@@ -27,7 +40,14 @@ from .scenario import (
     scaled_paper_scenario,
     smoke_scenario,
 )
-from .sweeps import SweepPoint, SweepResult, default_metrics, run_sweep, sweep_table
+from .sweeps import (
+    SweepPoint,
+    SweepPointError,
+    SweepResult,
+    default_metrics,
+    run_sweep,
+    sweep_table,
+)
 
 __all__ = [
     "Scenario",
@@ -52,9 +72,17 @@ __all__ = [
     "summarize_run",
     "comparison_table",
     "format_table",
+    "replication_summary",
+    "replication_table",
     "run_sweep",
     "sweep_table",
     "SweepResult",
     "SweepPoint",
+    "SweepPointError",
     "default_metrics",
+    "ReplicatedResult",
+    "REPLICATED_RESULT_SCHEMA",
+    "replicate_spec",
+    "resolve_seeds",
+    "load_result",
 ]

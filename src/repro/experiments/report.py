@@ -7,9 +7,11 @@ callers control where output goes.
 
 from __future__ import annotations
 
-from typing import Mapping, Sequence
+import math
+from typing import Mapping, Optional, Sequence
 
-from ..analysis.stats import job_outcome_stats
+from ..analysis.stats import MetricAggregate, job_outcome_stats
+from .replication import ReplicatedResult
 from .runner import ExperimentResult
 
 
@@ -57,6 +59,93 @@ def summarize_run(result: ExperimentResult, label: str = "") -> str:
         ),
     ]
     return "\n".join(lines)
+
+
+#: Metrics `repro report` and the replicated baseline comparison show by
+#: default: the paper-facing subset of ``summary_metrics()`` (utilities,
+#: job outcomes, churn), excluding wall-clock telemetry.
+REPORT_METRICS = (
+    "tx_utility",
+    "lr_utility",
+    "min_utility",
+    "utility_gap",
+    "jobs_completed",
+    "on_time_fraction",
+    "mean_tardiness",
+    "disruptive_actions",
+)
+
+
+def format_aggregate(agg: MetricAggregate) -> str:
+    """``mean ± ci95-half-width`` cell text (point estimate when n=1)."""
+    if agg.n == 0 or math.isnan(agg.mean):
+        return "n/a"
+    if agg.n == 1:
+        return f"{agg.mean:.4g}"
+    return f"{agg.mean:.4g} ± {agg.ci95_halfwidth:.2g}"
+
+
+def replication_summary(result: ReplicatedResult, label: str = "") -> str:
+    """One-paragraph summary of a replicated run (CLI output)."""
+    name = label or result.scenario_name
+    seeds = ", ".join(str(s) for s in result.seeds)
+    metrics = result.metrics()
+    lines = [
+        (
+            f"replicated {name!r} under policy {result.policy!r}: "
+            f"n={result.replications} seeds [{seeds}]"
+        ),
+        "  per-metric mean ± 95% CI half-width:",
+    ]
+    for key in REPORT_METRICS:
+        if key in metrics:
+            lines.append(f"    {key:<20} {format_aggregate(metrics[key])}")
+    return "\n".join(lines)
+
+
+def replication_table(
+    results: Sequence[ReplicatedResult],
+    metrics: Optional[Sequence[str]] = None,
+) -> str:
+    """Policy-comparison table over replicated results.
+
+    One row per result (labeled ``policy`` and, when the inputs span
+    several scenarios, ``scenario/policy``), one column per metric, cells
+    ``mean ± 95% CI half-width`` -- the baseline-comparison layout the
+    ``repro report`` subcommand renders from saved result files.
+    """
+    if not results:
+        return "(no results)"
+    if metrics is None:
+        available = set()
+        for result in results:
+            available |= set(result.metrics())
+        metrics = [m for m in REPORT_METRICS if m in available]
+    scenarios = {result.scenario_name for result in results}
+    headers = ["policy", "n", *metrics]
+    rows = []
+    for result in results:
+        label = (
+            result.policy
+            if len(scenarios) == 1
+            else f"{result.scenario_name}/{result.policy}"
+        )
+        aggregates = result.metrics()
+        cells = []
+        for m in metrics:
+            if m not in aggregates:
+                cells.append("n/a")
+                continue
+            agg = aggregates[m]
+            cell = format_aggregate(agg)
+            # NaN samples are dropped before aggregation, so a metric's
+            # effective n can fall below the seed count; say so rather
+            # than let the row's n column overstate the sample size.
+            if 0 < agg.n < result.replications:
+                cell += f" [n={agg.n}]"
+            cells.append(cell)
+        rows.append([label, str(result.replications), *cells])
+    return format_table(headers, rows)
 
 
 def comparison_table(results: Mapping[str, ExperimentResult]) -> str:

@@ -107,6 +107,10 @@ class ExperimentResult:
     action_log: ActionLog
     final_placement: Placement
     cycles: int
+    #: Registry name of the policy that produced the result, when known
+    #: (set by :meth:`repro.api.experiment.Experiment.run`; ``None`` for
+    #: hand-wired :class:`ExperimentRunner` invocations).
+    policy: Optional[str] = None
 
     def job_outcomes(self) -> dict[str, float]:
         """Aggregate SLA outcomes over *completed* jobs.
@@ -190,12 +194,13 @@ class ExperimentResult:
             {
               "schema": "repro.result/v1",
               "scenario": {"name", "seed", "horizon", "num_nodes"},
+              "policy": <registry name>,          # when known
               "cycles": <int>,
               "summary": {<summary_metrics()>},
               "recorder": {<Recorder.to_dict(), repro.recorder/v1>}
             }
         """
-        return {
+        data: dict[str, object] = {
             "schema": RESULT_SCHEMA,
             "scenario": {
                 "name": self.scenario.name,
@@ -203,10 +208,15 @@ class ExperimentResult:
                 "horizon": self.scenario.horizon,
                 "num_nodes": self.scenario.num_nodes,
             },
-            "cycles": self.cycles,
-            "summary": self.summary_metrics(),
-            "recorder": self.recorder.to_dict(),
         }
+        if self.policy is not None:
+            data["policy"] = self.policy
+        data.update(
+            cycles=self.cycles,
+            summary=self.summary_metrics(),
+            recorder=self.recorder.to_dict(),
+        )
+        return data
 
     def to_json(self, indent: Optional[int] = 2) -> str:
         """:meth:`to_dict` rendered as strict (RFC 8259) JSON.

@@ -12,6 +12,7 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Callable, Mapping, Optional, Sequence
 
+from ..errors import ConfigurationError, SimulationError
 from .runner import ExperimentResult, PolicyFactory, run_scenario
 from .scenario import Scenario
 
@@ -19,6 +20,17 @@ from .scenario import Scenario
 ScenarioFactory = Callable[[object], Scenario]
 #: Extracts named metrics from a finished run.
 MetricExtractor = Callable[[ExperimentResult], Mapping[str, float]]
+
+
+class SweepPointError(SimulationError):
+    """A sweep grid point failed; the message names the parameter assignment.
+
+    Raised in the worker (so it pickles back through the process pool as
+    a plain single-argument exception) wrapping whatever the scenario
+    factory, the run or the metric extractor raised.  Without it, a
+    failure in an N-point parallel grid surfaces as a bare traceback
+    with no hint of *which* assignment broke.
+    """
 
 
 @dataclass(frozen=True)
@@ -56,18 +68,26 @@ def default_metrics(result: ExperimentResult) -> Mapping[str, float]:
 
 def _run_point(
     args: tuple[
-        ScenarioFactory, MetricExtractor, Optional[PolicyFactory], object
+        str, ScenarioFactory, MetricExtractor, Optional[PolicyFactory], object
     ],
 ) -> SweepPoint:
     """One grid point, from factory call to extracted metrics.
 
     Module-level so worker processes can unpickle it; the whole run
     happens in the worker and only the (small) metrics mapping returns.
+    Any failure is re-raised as :class:`SweepPointError` naming the
+    sweep and the grid value that produced it.
     """
-    scenario_factory, metric_extractor, policy_factory, value = args
-    scenario = scenario_factory(value)
-    result = run_scenario(scenario, policy_factory)
-    return SweepPoint(parameter=value, metrics=dict(metric_extractor(result)))
+    name, scenario_factory, metric_extractor, policy_factory, value = args
+    try:
+        scenario = scenario_factory(value)
+        result = run_scenario(scenario, policy_factory)
+        return SweepPoint(parameter=value, metrics=dict(metric_extractor(result)))
+    except Exception as exc:
+        raise SweepPointError(
+            f"sweep {name!r} failed at grid point {value!r}: "
+            f"{type(exc).__name__}: {exc}"
+        ) from exc
 
 
 def run_sweep(
@@ -87,11 +107,15 @@ def run_sweep(
     and ``ProcessPoolExecutor.map`` preserves grid order.  The factories
     and extractor must then be picklable -- module-level functions or
     ``functools.partial`` over module-level functions, not closures.
+
+    A raising grid point aborts the sweep with a :class:`SweepPointError`
+    whose message names the failing parameter assignment.
     """
     if workers is not None and workers < 1:
-        raise ValueError("workers must be a positive integer")
+        raise ConfigurationError("workers must be a positive integer")
     tasks = [
-        (scenario_factory, metric_extractor, policy_factory, value) for value in grid
+        (name, scenario_factory, metric_extractor, policy_factory, value)
+        for value in grid
     ]
     if workers is None or workers == 1 or len(tasks) <= 1:
         points = [_run_point(task) for task in tasks]

@@ -6,7 +6,9 @@ import numpy as np
 import pytest
 
 from repro.analysis import (
+    MetricAggregate,
     Summary,
+    aggregate_metrics,
     equalization_error,
     job_outcome_stats,
     job_outcomes_by_class,
@@ -82,3 +84,58 @@ class TestJobOutcomes:
         assert set(by_class) == {"gold", "silver"}
         assert by_class["gold"].on_time == 1
         assert by_class["silver"].on_time == 0
+
+
+class TestMetricAggregate:
+    def test_basic_statistics(self):
+        agg = MetricAggregate.of([1.0, 2.0, 3.0])
+        assert agg.n == 3
+        assert agg.mean == pytest.approx(2.0)
+        assert agg.std == pytest.approx(1.0)  # sample std, ddof=1
+        assert agg.minimum == 1.0
+        assert agg.maximum == 3.0
+        # 95% CI via Student-t(2): 2.0 ± 4.3027 * 1/sqrt(3)
+        assert agg.ci95_halfwidth == pytest.approx(4.302652 / math.sqrt(3), rel=1e-5)
+        assert agg.ci95_lo < agg.mean < agg.ci95_hi
+
+    def test_single_sample_degenerates_to_point(self):
+        agg = MetricAggregate.of([3.5])
+        assert agg.n == 1
+        assert agg.std == 0.0
+        assert agg.ci95_lo == agg.mean == agg.ci95_hi == 3.5
+        assert agg.ci95_halfwidth == 0.0
+
+    def test_non_finite_samples_dropped(self):
+        agg = MetricAggregate.of([1.0, math.nan, 3.0, math.inf])
+        assert agg.n == 2
+        assert agg.mean == pytest.approx(2.0)
+
+    def test_all_non_finite_yields_nan(self):
+        agg = MetricAggregate.of([math.nan, math.nan])
+        assert agg.n == 0
+        assert math.isnan(agg.mean)
+        assert math.isnan(agg.ci95_lo)
+
+    def test_dict_round_trip(self):
+        agg = MetricAggregate.of([1.0, 2.0, 5.0])
+        assert MetricAggregate.from_dict(agg.to_dict()) == agg
+
+    def test_from_dict_maps_null_to_nan(self):
+        data = MetricAggregate.of([math.nan]).to_dict()
+        data = {k: (None if isinstance(v, float) and math.isnan(v) else v)
+                for k, v in data.items()}
+        agg = MetricAggregate.from_dict(data)
+        assert agg.n == 0
+        assert math.isnan(agg.mean)
+
+
+class TestAggregateMetrics:
+    def test_union_of_keys(self):
+        out = aggregate_metrics([{"a": 1.0, "b": 2.0}, {"a": 3.0}])
+        assert set(out) == {"a", "b"}
+        assert out["a"].n == 2
+        assert out["b"].n == 1
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            aggregate_metrics([])

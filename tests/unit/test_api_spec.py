@@ -274,6 +274,35 @@ class TestCheckedInSpecFiles:
         )
         assert spec == scenario_spec("heterogeneous-cluster")
 
+    def test_multi_app_differentiation_json_matches_registry(self):
+        spec = ScenarioSpec.load(
+            REPO_ROOT / "examples/specs/multi-app-differentiation.json"
+        )
+        assert spec == scenario_spec("multi-app-differentiation")
+
+    def test_diurnal_toml_matches_registry(self):
+        spec = ScenarioSpec.load(REPO_ROOT / "examples/specs/diurnal.toml")
+        assert spec == scenario_spec("diurnal")
+
+
+class TestNewScenarioShapes:
+    """The replication material scenarios expose the advertised structure."""
+
+    def test_multi_app_has_two_apps_with_distinct_rt_goals(self):
+        spec = scenario_spec("multi-app-differentiation")
+        assert [app.app_id for app in spec.apps] == ["web-premium", "web-budget"]
+        premium, budget = spec.apps
+        assert premium.rt_goal < budget.rt_goal
+        assert spec.jobs.kind == "paper"  # batch jobs still compete
+
+    def test_diurnal_profile_swings_over_the_day(self):
+        spec = scenario_spec("diurnal")
+        assert spec.horizon == 86_400.0
+        profile = spec.apps[0].profile.build()
+        trough = profile.rate(0.0)
+        peak = profile.rate(43_200.0)
+        assert peak > trough > 0.0
+
 
 class TestAppSpecValidation:
     def test_invalid_app_fails_eagerly(self):

@@ -49,6 +49,28 @@ class TestSubprocessEndToEnd:
         assert "run 'smoke'" in proc.stdout
         assert "control cycles over 600 s" in proc.stdout
 
+    def test_replicate_then_report_round_trip(self, tmp_path):
+        """`repro run --replications` emits a replicated payload and
+        `repro report` renders the comparison table from the saved file."""
+        out = tmp_path / "replicated.json"
+        proc = run_cli_subprocess(
+            "run", "smoke", "--horizon", "600",
+            "--replications", "3", "--json", str(out),
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "replicated 'smoke'" in proc.stdout
+        assert "n=3 seeds [7, 8, 9]" in proc.stdout
+        payload = json.loads(out.read_text())
+        assert payload["schema"] == "repro.result-replicated/v1"
+        assert payload["seeds"] == [7, 8, 9]
+        assert payload["aggregates"]["tx_utility"]["n"] == 3
+
+        report = run_cli_subprocess("report", str(out))
+        assert report.returncode == 0, report.stderr
+        assert "policy" in report.stdout
+        assert "utility" in report.stdout
+        assert "±" in report.stdout  # mean ± CI cells
+
 
 class TestInProcess:
     def test_list_names_matches_registry(self, capsys):
@@ -115,6 +137,80 @@ class TestInProcess:
         out = capsys.readouterr().out
         assert "controller.control_cycle" in out
         assert "min_utility" in out
+
+    def test_run_replications_with_seeds_and_csv(self, tmp_path, capsys):
+        out_json = tmp_path / "rep.json"
+        out_csv = tmp_path / "csv"
+        code = main(
+            [
+                "run", "smoke", "--horizon", "600", "--seeds", "3,5",
+                "--json", str(out_json), "--csv", str(out_csv),
+            ]
+        )
+        assert code == 0
+        assert "n=2 seeds [3, 5]" in capsys.readouterr().out
+        payload = json.loads(out_json.read_text())
+        assert payload["seeds"] == [3, 5]
+        assert (out_csv / "aggregates.csv").exists()
+        assert (out_csv / "per_seed.csv").exists()
+
+    def test_workers_without_replication_rejected(self):
+        with pytest.raises(SystemExit, match="--workers only applies"):
+            main(["run", "smoke", "--horizon", "600", "--workers", "2"])
+
+    def test_non_integer_seeds_fail_cleanly(self):
+        with pytest.raises(SystemExit, match="--seeds expects"):
+            main(["run", "smoke", "--horizon", "600", "--seeds", "1,x"])
+
+    def test_replications_and_seeds_are_exclusive(self, capsys):
+        code = main(
+            [
+                "run", "smoke", "--horizon", "600",
+                "--replications", "2", "--seeds", "1,2",
+            ]
+        )
+        assert code == 2
+        assert "either seeds or replications" in capsys.readouterr().err
+
+    def test_report_mixed_schemas(self, tmp_path, capsys):
+        rep_json = tmp_path / "rep.json"
+        single_json = tmp_path / "single.json"
+        assert main(
+            [
+                "run", "smoke", "--horizon", "600", "--replications", "2",
+                "--json", str(rep_json),
+            ]
+        ) == 0
+        assert main(
+            [
+                "run", "smoke", "--horizon", "600", "--policy", "fcfs",
+                "--json", str(single_json),
+            ]
+        ) == 0
+        capsys.readouterr()
+        assert main(["report", str(rep_json), str(single_json)]) == 0
+        out = capsys.readouterr().out
+        assert "utility" in out and "fcfs" in out
+        assert "min_utility" in out
+
+    def test_report_metric_selection(self, tmp_path, capsys):
+        rep_json = tmp_path / "rep.json"
+        assert main(
+            [
+                "run", "smoke", "--horizon", "600", "--replications", "2",
+                "--json", str(rep_json),
+            ]
+        ) == 0
+        capsys.readouterr()
+        assert main(["report", str(rep_json), "--metrics", "tx_utility"]) == 0
+        out = capsys.readouterr().out
+        assert "tx_utility" in out
+        assert "mean_tardiness" not in out
+
+    def test_report_unreadable_file_fails_cleanly(self, tmp_path, capsys):
+        code = main(["report", str(tmp_path / "absent.json")])
+        assert code == 2
+        assert "cannot read result file" in capsys.readouterr().err
 
     def test_unknown_scenario_fails_with_known_names(self, capsys):
         code = main(["run", "nope"])

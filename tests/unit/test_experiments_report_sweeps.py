@@ -4,13 +4,27 @@ import dataclasses
 
 import pytest
 
+from repro.errors import ConfigurationError
+
 from repro.experiments import (
     run_scenario,
     smoke_scenario,
     summarize_run,
 )
-from repro.experiments.report import comparison_table, format_table
-from repro.experiments.sweeps import default_metrics, run_sweep, sweep_table
+from repro.experiments.replication import ReplicatedResult
+from repro.experiments.report import (
+    comparison_table,
+    format_aggregate,
+    format_table,
+    replication_summary,
+    replication_table,
+)
+from repro.experiments.sweeps import (
+    SweepPointError,
+    default_metrics,
+    run_sweep,
+    sweep_table,
+)
 
 
 @pytest.fixture(scope="module")
@@ -75,9 +89,96 @@ class TestSweeps:
         } <= set(metrics)
 
 
+def _make_replicated(policy="utility", seeds=(1, 2, 3), scenario="smoke"):
+    per_seed = tuple(
+        {"tx_utility": 0.5 + 0.01 * i, "min_utility": 0.4 + 0.01 * i}
+        for i in range(len(seeds))
+    )
+    return ReplicatedResult(
+        scenario_name=scenario, base_seed=seeds[0], horizon=6000.0,
+        num_nodes=4, policy=policy, seeds=tuple(seeds), per_seed=per_seed,
+    )
+
+
+class TestReplicationReport:
+    def test_table_one_row_per_policy(self):
+        out = replication_table([_make_replicated("utility"), _make_replicated("fcfs")])
+        lines = out.splitlines()
+        assert len(lines) == 4  # header + separator + 2 rows
+        assert lines[0].startswith("policy")
+        assert "tx_utility" in lines[0]
+        assert "±" in lines[2]
+
+    def test_table_labels_by_scenario_when_mixed(self):
+        out = replication_table(
+            [
+                _make_replicated("utility", scenario="smoke"),
+                _make_replicated("utility", scenario="paper"),
+            ]
+        )
+        assert "smoke/utility" in out
+        assert "paper/utility" in out
+
+    def test_table_flags_reduced_sample_size(self):
+        result = ReplicatedResult(
+            scenario_name="smoke", base_seed=1, horizon=6000.0, num_nodes=4,
+            policy="utility", seeds=(1, 2, 3),
+            per_seed=(
+                {"tx_utility": 0.5, "on_time_fraction": float("nan")},
+                {"tx_utility": 0.6, "on_time_fraction": 1.0},
+                {"tx_utility": 0.7, "on_time_fraction": 0.5},
+            ),
+        )
+        out = replication_table([result])
+        assert "[n=2]" in out  # on_time_fraction aggregated 2 of 3 seeds
+
+    def test_table_metric_selection(self):
+        out = replication_table([_make_replicated()], metrics=["min_utility"])
+        assert "min_utility" in out
+        assert "tx_utility" not in out
+
+    def test_empty_results(self):
+        assert replication_table([]) == "(no results)"
+
+    def test_summary_mentions_policy_and_seeds(self):
+        text = replication_summary(_make_replicated("fcfs", seeds=(5, 6)))
+        assert "'fcfs'" in text
+        assert "n=2 seeds [5, 6]" in text
+
+    def test_format_aggregate_point_and_interval(self):
+        one = _make_replicated(seeds=(1,)).metric("tx_utility")
+        assert format_aggregate(one) == "0.5"
+        many = _make_replicated().metric("tx_utility")
+        assert "±" in format_aggregate(many)
+
+
 def _seeded_smoke_factory(value):
     """Module-level scenario factory (picklable for worker processes)."""
     return smoke_scenario(seed=int(value))
+
+
+def _exploding_factory(value):
+    """Module-level factory (picklable) that fails on 'bad' grid values."""
+    if value != 7:
+        raise ValueError(f"boom at {value}")
+    return smoke_scenario(seed=7)
+
+
+class TestSweepFailureReporting:
+    def test_serial_failure_names_the_grid_point(self):
+        with pytest.raises(SweepPointError) as excinfo:
+            run_sweep("explode", [13, 7], _exploding_factory, default_metrics)
+        message = str(excinfo.value)
+        assert "sweep 'explode'" in message
+        assert "grid point 13" in message
+        assert "ValueError" in message
+        assert "boom at 13" in message
+
+    def test_parallel_failure_names_the_grid_point(self):
+        with pytest.raises(SweepPointError, match="grid point 13"):
+            run_sweep(
+                "explode", [13, 17], _exploding_factory, default_metrics, workers=2
+            )
 
 
 class TestParallelSweeps:
@@ -94,5 +195,7 @@ class TestParallelSweeps:
             assert parallel.metric(key) == serial.metric(key)
 
     def test_invalid_workers_rejected(self):
-        with pytest.raises(ValueError):
+        # ConfigurationError (a ReproError) so the CLI renders it as a
+        # clean `error:` line instead of a traceback.
+        with pytest.raises(ConfigurationError):
             run_sweep("bad", [1], _seeded_smoke_factory, default_metrics, workers=0)
