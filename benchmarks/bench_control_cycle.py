@@ -9,9 +9,25 @@ artifact.  Every perf PR quotes its numbers against the previous run so
 the decide() latency trajectory stays visible (schema and comparison
 workflow: ``benchmarks/README.md``).
 
+Since the sharded control plane (schema version 3) the artifact also
+carries a **headline point**: 1000 nodes x 10000 jobs, decided both by
+the monolithic controller and by the sharded one
+(``ControllerConfig.shards`` sub-controllers merged by the shard
+arbiter).  The sharded row reports two latencies:
+
+* ``sharded_wall_median_ms`` -- the honest single-process wall time of
+  the whole sharded decide (partition + every shard serially + merge);
+* ``critical_path_median_ms`` -- partition/route/merge overhead plus the
+  *slowest single shard*, i.e. the cycle latency a ``shard_workers >=
+  shards`` pool pays once each shard runs on its own core.  On a
+  single-core machine (like CI containers) the wall time cannot show the
+  pool win, so the critical path is the headline number and the one the
+  perf gate compares.
+
 Environment knobs:
 
 * ``BENCH_SMOKE=1`` -- run only the smallest grid point (CI perf-smoke).
+* ``BENCH_SHARDS=K`` -- shard count for the headline point (default 4).
 * ``BENCH_OUTPUT=path`` -- where to write the JSON artifact (defaults to
   ``BENCH_control_cycle.json`` in the working directory).
 """
@@ -28,7 +44,7 @@ import numpy as np
 
 from repro.cluster import Placement, PlacementEntry, homogeneous_cluster
 from repro.config import ControllerConfig
-from repro.core import UtilityDrivenController
+from repro.core import ShardedController, UtilityDrivenController
 from repro.types import WorkloadKind
 from repro.workloads import Job, JobSpec, TransactionalAppSpec
 
@@ -37,18 +53,35 @@ from repro.workloads import Job, JobSpec, TransactionalAppSpec
 #: is the ROADMAP's production-scale target.
 SCALING_GRID: list[tuple[int, int]] = [(25, 150), (50, 500), (100, 1000), (200, 2000)]
 
+#: The sharded headline point: an order of magnitude past the grid.
+HEADLINE_POINT: tuple[int, int] = (1000, 10_000)
+
 #: decide() repetitions per grid point (first call additionally warms up).
 _REPEATS = 9
 
+#: Repetitions at the headline point (each decide costs tens of ms).
+_HEADLINE_REPEATS = 5
+
+
+def _headline_shards() -> int:
+    return int(os.environ.get("BENCH_SHARDS", "4"))
+
 
 def build_state(
-    num_nodes: int = 25, num_jobs: int = 150, t: float = 30_000.0, *, warm: bool = True
+    num_nodes: int = 25,
+    num_jobs: int = 150,
+    t: float = 30_000.0,
+    *,
+    warm: bool = True,
+    shards: int = 1,
 ):
     """A mid-run-like cluster state: ~3 jobs running per node, one web app.
 
     ``warm=False`` builds the controller with cross-cycle warm starts
     disabled (``ControllerConfig(warm_start=False)``): the cold path,
     bit-identical in results, measured separately by the scaling grid.
+    ``shards > 1`` builds a :class:`ShardedController` over the same
+    state instead of the monolithic controller.
     """
     rng = np.random.default_rng(7)
     cluster = homogeneous_cluster(num_nodes)
@@ -58,7 +91,11 @@ def build_state(
         min_instances=1, max_instances=num_nodes,
         model_kind="closed", think_time=0.2,
     )
-    controller = UtilityDrivenController([spec], ControllerConfig(warm_start=warm))
+    config = ControllerConfig(warm_start=warm, shards=shards)
+    if shards > 1:
+        controller = ShardedController([spec], config)
+    else:
+        controller = UtilityDrivenController([spec], config)
     controller.observe_app("web", load=210.0, service_cycles=300.0)
 
     jobs = []
@@ -120,7 +157,9 @@ def machine_calibration_ms() -> float:
     return statistics.median(samples)
 
 
-def _time_decides(num_nodes: int, num_jobs: int, repeats: int, warm: bool):
+def _time_decides(
+    num_nodes: int, num_jobs: int, repeats: int, warm: bool, shards: int = 1
+):
     """Median/p95 of repeated decide() calls on one shared controller.
 
     Repeated decides over a quasi-static state are exactly the
@@ -129,7 +168,7 @@ def _time_decides(num_nodes: int, num_jobs: int, repeats: int, warm: bool):
     from the second call on (the warm-up call is the cold first cycle).
     """
     controller, cluster, jobs, placement, vm_states, app_nodes, t = build_state(
-        num_nodes, num_jobs, warm=warm
+        num_nodes, num_jobs, warm=warm, shards=shards
     )
     nodes = cluster.active_nodes()
 
@@ -183,6 +222,66 @@ def measure_point(num_nodes: int, num_jobs: int, repeats: int = _REPEATS) -> dic
     }
 
 
+def measure_sharded_point(
+    num_nodes: int, num_jobs: int, shards: int, repeats: int = _HEADLINE_REPEATS
+) -> dict:
+    """The sharded headline: monolithic vs sharded on one big point.
+
+    The monolithic side reuses the warm-path measurement.  The sharded
+    side times the same repeated-decide regime and additionally extracts,
+    from each decision's own telemetry, the **critical path**: the
+    ``stage_ms:overhead`` (partition + route + merge, serial in the
+    parent) plus the slowest single shard's total -- the latency a
+    ``shard_workers >= shards`` pool pays with one core per shard.  The
+    single-process wall time is reported alongside; on a single-core
+    host it exceeds the monolithic wall (all shards still run serially),
+    which is exactly why the critical path is the headline metric.
+    """
+    mono_median, mono_p95, _ = _time_decides(num_nodes, num_jobs, repeats, warm=True)
+
+    controller, cluster, jobs, placement, vm_states, app_nodes, t = build_state(
+        num_nodes, num_jobs, warm=True, shards=shards
+    )
+    nodes = cluster.active_nodes()
+
+    def decide():
+        return controller.decide(
+            t, nodes=nodes, jobs=jobs, current_placement=placement,
+            vm_states=vm_states, app_nodes=app_nodes,
+        )
+
+    decision = decide()  # cold first cycle; warm path from here on
+    decision.placement.validate(cluster)
+    walls, overheads, criticals = [], [], []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        decision = decide()
+        walls.append((time.perf_counter() - t0) * 1e3)
+        telemetry = decision.diagnostics.telemetry
+        overhead = telemetry.stage_ms.get("overhead", 0.0)
+        slowest = max(
+            st.telemetry.stage_ms.get("total", 0.0)
+            for st in decision.diagnostics.shard_telemetry
+        )
+        overheads.append(overhead)
+        criticals.append(overhead + slowest)
+    return {
+        "nodes": num_nodes,
+        "jobs": num_jobs,
+        "shards": shards,
+        "repeats": repeats,
+        "population": decision.diagnostics.population_size,
+        "monolithic_median_ms": mono_median,
+        "monolithic_p95_ms": mono_p95,
+        "sharded_wall_median_ms": statistics.median(walls),
+        "overhead_median_ms": statistics.median(overheads),
+        "critical_path_median_ms": statistics.median(criticals),
+        "critical_path_speedup": mono_median / statistics.median(criticals),
+        "shard_imbalance": decision.diagnostics.shard_imbalance,
+        "warm_mode": decision.diagnostics.telemetry.mode,
+    }
+
+
 def run_grid(smoke: bool = False) -> dict:
     """Measure the grid and return the full artifact document.
 
@@ -204,9 +303,9 @@ def run_grid(smoke: bool = False) -> dict:
         points.append(point)
     doc = {
         "bench": "control_cycle_scaling",
-        "schema_version": 2,
+        "schema_version": 3,
         "label": os.environ.get(
-            "BENCH_LABEL", "incremental control plane, warm/cold grid (PR 4)"
+            "BENCH_LABEL", "sharded control plane, 1000x10000 headline (PR 6)"
         ),
         "smoke": smoke,
         "machine": {
@@ -216,6 +315,24 @@ def run_grid(smoke: bool = False) -> dict:
         },
         "points": points,
     }
+    if not smoke:
+        num_nodes, num_jobs = HEADLINE_POINT
+        sharded = measure_sharded_point(num_nodes, num_jobs, _headline_shards())
+        sharded["critical_path_normalized"] = (
+            sharded["critical_path_median_ms"] / calibration
+        )
+        sharded["monolithic_median_normalized"] = (
+            sharded["monolithic_median_ms"] / calibration
+        )
+        # The headline claim the artifact exists to carry: per-core, the
+        # sharded cycle beats the monolithic one on the same point.
+        assert (
+            sharded["critical_path_median_ms"] < sharded["monolithic_median_ms"]
+        ), (
+            f"sharded critical path {sharded['critical_path_median_ms']:.2f} ms "
+            f"did not beat monolithic {sharded['monolithic_median_ms']:.2f} ms"
+        )
+        doc["sharded"] = sharded
     prior = _read_prior_artifact()
     if prior is not None:
         doc["previous"] = {
@@ -223,6 +340,8 @@ def run_grid(smoke: bool = False) -> dict:
             "machine": prior.get("machine"),
             "points": prior.get("points"),
         }
+        if prior.get("sharded") is not None:
+            doc["previous"]["sharded"] = prior["sharded"]
     return doc
 
 
@@ -263,6 +382,16 @@ def test_control_cycle_scaling():
             f"{p['decide_cold_median_ms']:>9.2f} {p['decide_p95_ms']:>8.2f} "
             f"{p['decide_median_normalized']:>7.3f} "
             f"{100 * p['eq_cache_hit_rate']:>6.1f}"
+        )
+    sharded = doc.get("sharded")
+    if sharded is not None:
+        print(
+            f"{sharded['nodes']:>6} {sharded['jobs']:>6} "
+            f"sharded x{sharded['shards']}: critical path "
+            f"{sharded['critical_path_median_ms']:.2f} ms "
+            f"(mono {sharded['monolithic_median_ms']:.2f} ms, "
+            f"{sharded['critical_path_speedup']:.2f}x; "
+            f"serial wall {sharded['sharded_wall_median_ms']:.2f} ms)"
         )
     print(f"artifact: {path} (calibration {doc['machine']['calibration_ms']:.2f} ms)")
     assert all(p["decide_median_ms"] > 0 for p in doc["points"])

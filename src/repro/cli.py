@@ -7,6 +7,7 @@ placement policy, with spec-level overrides::
     repro run smoke                             # registered scenario
     repro run paper --policy fcfs               # pick a baseline by name
     repro run smoke --horizon 600 --set controller.control_cycle=300
+    repro run smoke --shards 4                  # sharded control plane
     repro run --spec examples/specs/smoke.json  # from a spec file
     repro show heterogeneous-cluster --format toml > hetero.toml
     repro sweep smoke --param controller.control_cycle \\
@@ -82,6 +83,8 @@ def _base_overrides(args: argparse.Namespace) -> dict[str, object]:
         overrides.setdefault("horizon", args.horizon)
     if getattr(args, "seed", None) is not None:
         overrides.setdefault("seed", args.seed)
+    if getattr(args, "shards", None) is not None:
+        overrides.setdefault("controller.shards", args.shards)
     return overrides
 
 
@@ -234,6 +237,11 @@ def _add_spec_arguments(
     )
     parser.add_argument(
         "--seed", type=int, default=None, help="override the scenario seed"
+    )
+    parser.add_argument(
+        "--shards", type=int, default=None, metavar="K",
+        help="partition the cluster into K shards (sharded control "
+             "plane; shorthand for --set controller.shards=K)",
     )
     parser.add_argument(
         "--set", action="append", metavar="KEY=VALUE", default=[],

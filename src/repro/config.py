@@ -157,6 +157,21 @@ class ControllerConfig:
     warm_seed_depth:
         Bisection depth of the equalizer's verified warm bracket (the
         equalizer cascades to shallower depths when the level drifted).
+    shards:
+        Number of cluster shards of the hierarchical control plane
+        (:class:`repro.core.sharded.ShardedController`).  ``1`` (the
+        default) runs the monolithic controller; ``> 1`` partitions the
+        topology, runs one sub-controller per shard, and routes
+        newly-arrived jobs across shards through the top-level shard
+        arbiter (:mod:`repro.core.shard_arbiter`).
+    shard_workers:
+        Worker processes the sharded controller fans per-shard
+        ``decide()`` calls over (``1`` = in-process serial execution,
+        byte-identical to the pooled path).
+    shard_planner:
+        Name of the registered node-to-shard partitioning strategy
+        (``"round-robin"`` | ``"zone"``; see
+        :func:`repro.core.shard_arbiter.make_shard_planner`).
     """
 
     control_cycle: Seconds = 600.0
@@ -171,6 +186,9 @@ class ControllerConfig:
     warm_start: bool = True
     warm_demand_rtol: float = 0.35
     warm_seed_depth: int = 8
+    shards: int = 1
+    shard_workers: int = 1
+    shard_planner: str = "round-robin"
 
     def __post_init__(self) -> None:
         if self.control_cycle <= 0:
@@ -189,6 +207,12 @@ class ControllerConfig:
             raise ConfigurationError("warm_demand_rtol must be non-negative")
         if self.warm_seed_depth < 1:
             raise ConfigurationError("warm_seed_depth must be >= 1")
+        if not isinstance(self.shards, int) or self.shards < 1:
+            raise ConfigurationError("shards must be a positive integer")
+        if not isinstance(self.shard_workers, int) or self.shard_workers < 1:
+            raise ConfigurationError("shard_workers must be a positive integer")
+        if not self.shard_planner or not isinstance(self.shard_planner, str):
+            raise ConfigurationError("shard_planner must be a non-empty string")
 
 
 @dataclass(frozen=True)

@@ -57,6 +57,17 @@ from .placement_solver import (
     water_fill,
 )
 from .relaxation import RelaxationBound, divisible_upper_bound, optimality_gap
+from .shard_arbiter import (
+    RoundRobinShardPlanner,
+    ShardArbiter,
+    ShardPlanner,
+    ShardSplit,
+    ZoneShardPlanner,
+    available_shard_planners,
+    make_shard_planner,
+    route_by_headroom,
+)
+from .sharded import ShardedController, ShardedDiagnostics, ShardTelemetry
 
 __all__ = [
     "UtilityDrivenController",
@@ -103,4 +114,15 @@ __all__ = [
     "order_by_urgency",
     "split_runnable",
     "plan_actions",
+    "ShardPlanner",
+    "RoundRobinShardPlanner",
+    "ZoneShardPlanner",
+    "available_shard_planners",
+    "make_shard_planner",
+    "ShardArbiter",
+    "ShardSplit",
+    "route_by_headroom",
+    "ShardedController",
+    "ShardedDiagnostics",
+    "ShardTelemetry",
 ]

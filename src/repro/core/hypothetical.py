@@ -198,6 +198,35 @@ class HypotheticalEqualizer:
         u_safe = float(((self._goals_abs - self._t - err) / self._goal_lengths).min())
         self._u_safe = u_safe - abs(u_safe) * 1e-12 - 1e-12
 
+    @property
+    def total_cap(self) -> Mhz:
+        """Aggregate speed cap of the population (0 when empty)."""
+        return self._total_cap if self._n else 0.0
+
+    @property
+    def bracket(self) -> tuple[float, float]:
+        """The allocation-independent bisection bracket ``(u_lo0, u_hi0)``.
+
+        Undefined (``(0.0, 0.0)``) for an empty population.  Exposed for
+        callers that bisect an *aggregated* consumed curve over several
+        equalizers (the sharded control plane's top-level arbiter,
+        :mod:`repro.core.shard_arbiter`).
+        """
+        if self._n == 0:
+            return 0.0, 0.0
+        return self._u_lo0, self._u_hi0
+
+    def consumed(self, u: float) -> Mhz:
+        """``Σ_j min(x_j(u), c_j)`` -- the consumed curve at level ``u``.
+
+        Memoized by exact float key like every internal evaluation, so
+        external bisections (the shard arbiter) share the same memo as
+        :meth:`equalize` / :meth:`metric_at`.  0 for an empty population.
+        """
+        if self._n == 0:
+            return 0.0
+        return self._consumed(u)
+
     def seed_level(self, level: float, depth: int) -> None:
         """Offer a warm-start hint for subsequent bisections.
 

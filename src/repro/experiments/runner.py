@@ -37,6 +37,7 @@ from ..cluster.node import NodeSpec
 from ..cluster.placement import Placement
 from ..cluster.vm import VmState
 from ..core.controller import ControlDecision, UtilityDrivenController
+from ..core.sharded import ShardedController
 from ..core.hypothetical import (
     longrunning_max_utility_demand,
     mean_hypothetical_utility,
@@ -91,10 +92,16 @@ RESULT_SCHEMA = "repro.result/v1"
 
 
 def default_policy_factory(scenario: Scenario) -> PlacementPolicy:
-    """The paper's controller with the scenario's configuration."""
-    return UtilityDrivenController(
-        [workload.spec for workload in scenario.apps], scenario.controller
-    )
+    """The paper's controller with the scenario's configuration.
+
+    ``ControllerConfig.shards > 1`` selects the sharded hierarchical
+    control plane (:class:`repro.core.sharded.ShardedController`); the
+    monolithic controller otherwise.
+    """
+    specs = [workload.spec for workload in scenario.apps]
+    if scenario.controller.shards > 1:
+        return ShardedController(specs, scenario.controller)
+    return UtilityDrivenController(specs, scenario.controller)
 
 
 @dataclass
@@ -598,6 +605,21 @@ class ExperimentRunner:
             rec.bump("eq_seed_misses_total", telemetry.seed_misses)
             if not warm and telemetry.reason:
                 rec.bump(f"invalidations:{telemetry.reason}")
+
+        # Sharded control plane: per-shard decide times and cross-shard
+        # balance (ShardedDiagnostics only; the monolithic controller
+        # records nothing here).
+        shard_telemetry = getattr(diag, "shard_telemetry", ())
+        if shard_telemetry:
+            rec.record("shard_imbalance", t, diag.shard_imbalance)
+            for st in shard_telemetry:
+                rec.record(
+                    f"shard_ms:{st.shard}",
+                    t,
+                    st.telemetry.stage_ms.get("total", math.nan),
+                )
+                if st.telemetry.mode != "warm" and st.telemetry.reason:
+                    rec.bump(f"invalidations:shard{st.shard}:{st.telemetry.reason}")
 
         counts = {phase: 0 for phase in JobPhase}
         for job in self._jobs.values():

@@ -8,6 +8,7 @@ examples.
 
 from __future__ import annotations
 
+import traceback
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Callable, Mapping, Optional, Sequence
@@ -84,9 +85,16 @@ def _run_point(
         result = run_scenario(scenario, policy_factory)
         return SweepPoint(parameter=value, metrics=dict(metric_extractor(result)))
     except Exception as exc:
+        # `raise ... from exc` alone is not enough here: exceptions that
+        # cross a ProcessPoolExecutor are re-pickled from (type, args)
+        # and lose __cause__ -- and with it the worker traceback.  Embed
+        # the formatted worker traceback in the message (it is part of
+        # args, so it survives the round trip) and still chain the
+        # original for the serial path.
         raise SweepPointError(
             f"sweep {name!r} failed at grid point {value!r}: "
-            f"{type(exc).__name__}: {exc}"
+            f"{type(exc).__name__}: {exc}\n"
+            f"--- worker traceback ---\n{traceback.format_exc()}"
         ) from exc
 
 

@@ -37,6 +37,24 @@ Runs driven by the incremental control plane record, per control cycle:
   ``eq_seed_misses_total``, and ``invalidations:<reason>`` (one counter
   per observed cold-cycle cause, e.g. ``invalidations:topology-changed``).
 
+Sharded runs (``ControllerConfig.shards > 1``) additionally record:
+
+* ``shard_ms:<shard>`` series -- each shard's own decide() wall time
+  (milliseconds; the shard index is the 0-based position assigned by the
+  shard planner);
+* ``shard_imbalance`` series -- spread (max - min) of the shards' local
+  equalized utility levels at their budgets, the quantity cross-shard
+  arrival routing drives down;
+* ``invalidations:shard<i>:<reason>`` counters -- per-shard cold-cycle
+  causes.  The unqualified ``invalidations:<reason>`` counter keeps its
+  cluster-level meaning (bumped once per cycle, with the first cold
+  shard's reason), so shard counters add detail without double-counting
+  a meaning change.
+* The merged ``stage_ms:<stage>`` series sums each stage across shards
+  (aggregate work); ``stage_ms:total`` is the observed wall time of the
+  whole sharded decide and ``stage_ms:overhead`` its excess over the
+  summed shard totals (partition/route/merge cost).
+
 These are ordinary series/counters -- schema consumers that predate them
 simply see extra names, which is the recorder's documented forward-
 compatible evolution path (new names may appear; existing names keep

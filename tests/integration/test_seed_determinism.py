@@ -4,10 +4,16 @@ Replication statistics are only meaningful if the per-seed runs are
 deterministic functions of (spec, seed).  For every registered scenario,
 two independent runs of the same spec must serialize to byte-identical
 ``repro.result/v1`` JSON once the documented wall-time fields -- the
-``stage_ms:*`` recorder series and the ``decide_ms_mean`` summary
-metric, which measure host wall-clock -- are scrubbed.  A different
-seed must change the payload (the trace and noise streams actually
-consume the seed).
+``stage_ms:*`` / ``shard_ms:*`` recorder series and the
+``decide_ms_mean`` summary metric, which measure host wall-clock -- are
+scrubbed.  A different seed must change the payload (the trace and noise
+streams actually consume the seed).
+
+The sharded control plane gets the same treatment: a 4-shard run must be
+deterministic, and serial (``shard_workers=1``) versus pooled
+(``shard_workers=2``) execution must serialize byte-identically -- the
+pool round-trips each shard's controller through pickle, so worker
+processes may not change a single decision.
 """
 
 import json
@@ -27,7 +33,9 @@ def scrubbed_result_json(spec, policy: str = "utility") -> str:
     data = json.loads(result.to_json())
     data["summary"].pop("decide_ms_mean", None)
     series = data["recorder"]["series"]
-    for name in [n for n in series if n.startswith("stage_ms:")]:
+    for name in [
+        n for n in series if n.startswith("stage_ms:") or n.startswith("shard_ms:")
+    ]:
         del series[name]
     return json.dumps(data, sort_keys=True)
 
@@ -50,3 +58,25 @@ def test_different_seed_changes_the_payload():
 def test_baseline_policy_is_deterministic_too():
     spec = scenario_spec("smoke").with_overrides({"horizon": HORIZON})
     assert scrubbed_result_json(spec, "fcfs") == scrubbed_result_json(spec, "fcfs")
+
+
+def _sharded_spec(workers: int):
+    return scenario_spec("smoke").with_overrides(
+        {
+            "horizon": HORIZON,
+            "controller.shards": 4,
+            "controller.shard_workers": workers,
+        }
+    )
+
+
+def test_sharded_same_seed_is_byte_identical():
+    first = scrubbed_result_json(_sharded_spec(1))
+    second = scrubbed_result_json(_sharded_spec(1))
+    assert first == second, "sharded path is not seed-deterministic"
+
+
+def test_sharded_serial_matches_pooled_workers():
+    serial = scrubbed_result_json(_sharded_spec(1))
+    pooled = scrubbed_result_json(_sharded_spec(2))
+    assert serial == pooled, "worker pool changed the sharded decisions"

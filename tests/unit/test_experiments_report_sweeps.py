@@ -180,6 +180,24 @@ class TestSweepFailureReporting:
                 "explode", [13, 17], _exploding_factory, default_metrics, workers=2
             )
 
+    def test_serial_failure_chains_the_original(self):
+        with pytest.raises(SweepPointError) as excinfo:
+            run_sweep("explode", [13, 7], _exploding_factory, default_metrics)
+        assert isinstance(excinfo.value.__cause__, ValueError)
+
+    def test_parallel_failure_carries_worker_traceback(self):
+        # Exceptions re-raised across a process pool are re-pickled from
+        # (type, args) and drop __cause__; the worker traceback must
+        # therefore travel inside the message itself.
+        with pytest.raises(SweepPointError) as excinfo:
+            run_sweep(
+                "explode", [13, 17], _exploding_factory, default_metrics, workers=2
+            )
+        message = str(excinfo.value)
+        assert "worker traceback" in message
+        assert "_exploding_factory" in message  # the failing frame
+        assert 'raise ValueError(f"boom at {value}")' in message
+
 
 class TestParallelSweeps:
     def test_workers_match_serial_results(self):
