@@ -5,18 +5,20 @@ Everything needed to describe, run and export an experiment lives here:
 * :class:`ScenarioSpec` -- a serializable scenario description
   (``to_dict``/``from_dict``, JSON and TOML round-trips) that
   materializes into an executable
-  :class:`~repro.experiments.scenario.Scenario`;
+  :class:`~repro.experiments.scenario.Scenario`; its optional ``faults``
+  block (:class:`FaultPlanSpec` and friends, re-exported from
+  :mod:`repro.faults`) declares seeded stochastic failure processes;
 * the **scenario registry** (:func:`scenario_spec`,
   :func:`available_scenarios`, :func:`register_scenario`) naming the
   repository's evaluation scenarios: ``paper``, ``smoke``,
   ``failure-recovery``, ``service-differentiation``, ``consolidation``,
   ``heterogeneous-cluster``, ``overload``,
-  ``multi-app-differentiation``, ``diurnal``;
+  ``multi-app-differentiation``, ``diurnal``, ``chaos-soak``;
 * the **policy registry** (:func:`get_policy`,
   :func:`available_policies`, :func:`register_policy`, re-exported from
   :mod:`repro.baselines.registry`) naming the utility-driven controller
   and every baseline: ``utility``, ``static-partition``, ``fcfs``,
-  ``edf``, ``tx-priority``;
+  ``edf``, ``tx-priority``, plus the fault-injecting ``chaos-utility``;
 * :class:`Experiment` / :func:`run_experiment` -- the entry point tying
   the two together, returning an
   :class:`~repro.experiments.runner.ExperimentResult` with
@@ -49,6 +51,13 @@ from ..experiments.replication import (
 )
 from ..experiments.runner import ExperimentResult
 from ..experiments.sweeps import run_sweep, sweep_table
+from ..faults import (
+    BrownoutFaultSpec,
+    CrashFaultSpec,
+    FaultPlanSpec,
+    FlapFaultSpec,
+    ZoneOutageSpec,
+)
 from .experiment import Experiment, SpecLike, resolve_spec, run_experiment
 from .scenarios import (
     available_scenarios,
@@ -85,6 +94,12 @@ __all__ = [
     "SpecValidationError",
     "SCENARIO_SCHEMA",
     "dumps_toml",
+    # stochastic fault plans
+    "FaultPlanSpec",
+    "CrashFaultSpec",
+    "ZoneOutageSpec",
+    "BrownoutFaultSpec",
+    "FlapFaultSpec",
     # scenario registry
     "register_scenario",
     "get_scenario",

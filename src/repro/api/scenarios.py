@@ -3,8 +3,9 @@
 Every evaluation scenario of the repository -- the paper's Figure 1/2
 run, the fast smoke test, failure injection, service differentiation
 (batch classes and multi-app web rt goals), the consolidation-vs-static
-comparison bed, a heterogeneous cluster, deep overload and a diurnal
-day -- is registered here as a *builder* returning a
+comparison bed, a heterogeneous cluster, deep overload, a diurnal day
+and a stochastic chaos soak -- is registered here as a *builder*
+returning a
 :class:`~repro.api.spec.ScenarioSpec`, so experiments are reproducible
 from a name alone:
 
@@ -34,6 +35,13 @@ from ..experiments.scenario import (
     PAPER_SESSIONS,
     PAPER_THINK_TIME,
     NodeFailure,
+)
+from ..faults import (
+    BrownoutFaultSpec,
+    CrashFaultSpec,
+    FaultPlanSpec,
+    FlapFaultSpec,
+    ZoneOutageSpec,
 )
 from ..workloads.tracegen import PAPER_JOB_TEMPLATE, JobTemplate
 from .spec import (
@@ -430,6 +438,40 @@ def overload(seed: int = 5) -> ScenarioSpec:
     )
 
 
+def chaos_soak(seed: int = 23) -> ScenarioSpec:
+    """The scaled paper scenario under a full stochastic fault plan.
+
+    Every fault model at once: node crashes (MTBF 25 ks, MTTR 4 ks),
+    correlated two-zone outages, half-speed capacity brownouts and
+    flapping nodes -- all compiled deterministically from the scenario
+    seed, so the run is reproducible and ``Experiment.replicate``
+    aggregates over fault realizations.  The soak bed for the
+    graceful-degradation control plane (pair with the ``chaos-utility``
+    policy to also inject controller-level decide() failures).
+    """
+    num_nodes, node_ratio, jobs = _scaled_paper_parts(0.2)
+    return ScenarioSpec(
+        name="chaos-soak",
+        seed=seed,
+        horizon=40_000.0,
+        topology=TopologySpec(num_nodes=num_nodes),
+        apps=(
+            _paper_app(
+                sessions=PAPER_SESSIONS * node_ratio, max_instances=num_nodes
+            ),
+        ),
+        jobs=jobs,
+        faults=FaultPlanSpec(
+            crashes=(CrashFaultSpec(mtbf=25_000.0, mttr=4_000.0),),
+            zone_outages=(ZoneOutageSpec(zones=2, mtbf=60_000.0, mttr=2_500.0),),
+            brownouts=(
+                BrownoutFaultSpec(mtbf=18_000.0, duration=3_000.0, fraction=0.5),
+            ),
+            flaps=(FlapFaultSpec(mtbf=45_000.0, flaps=3, down=150.0, up=450.0),),
+        ),
+    )
+
+
 register_scenario("paper", paper)
 register_scenario("smoke", smoke)
 register_scenario("failure-recovery", failure_recovery)
@@ -439,3 +481,4 @@ register_scenario("heterogeneous-cluster", heterogeneous_cluster)
 register_scenario("overload", overload)
 register_scenario("multi-app-differentiation", multi_app_differentiation)
 register_scenario("diurnal", diurnal)
+register_scenario("chaos-soak", chaos_soak)

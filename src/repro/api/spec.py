@@ -27,8 +27,27 @@ Serialized layout (schema tag ``repro.scenario/v1``)::
       "jobs": {"kind": "paper" | "uniform" | "differentiated" | "none", ...},
       "controller": {..., "solver": {...}},
       "costs": {...}, "noise": {...},
-      "failures": [{"at", "node_id", "restore_at"?}, ...]
+      "failures": [{"at", "node_id", "restore_at"?}, ...],
+      "faults": {                                   # stochastic fault models
+        "crashes":      [{"mtbf", "mttr", "node_class"?, "start"?}, ...],
+        "zone_outages": [{"zones", "mtbf", "mttr", "start"?}, ...],
+        "brownouts":    [{"mtbf", "duration", "fraction",
+                          "node_class"?, "start"?}, ...],
+        "flaps":        [{"mtbf", "flaps", "down", "up",
+                          "node_class"?, "start"?}, ...],
+        "stream"?: "faults"
+      }
     }
+
+``failures`` lists *scheduled* events at fixed instants; ``faults``
+declares *stochastic* processes (MTBF/MTTR renewal models) that
+:meth:`ScenarioSpec.materialize` compiles -- deterministically, from the
+scenario seed's named RNG stream -- into concrete
+:class:`~repro.experiments.scenario.NodeFailure` /
+:class:`~repro.experiments.scenario.NodeBrownout` events via
+:func:`repro.faults.compile_faults`.  Overlapping outages of the same
+node (among explicit ``failures``, and between them and compiled events)
+are rejected at spec-build / materialization time.
 
 Optional fields holding ``None`` (e.g. a failure without ``restore_at``,
 an unlimited ``change_budget``) are omitted on serialization so the same
@@ -48,6 +67,14 @@ from ..cluster.topology import NodeClass
 from ..config import ControllerConfig, NoiseConfig, SolverConfig
 from ..errors import ConfigurationError
 from ..experiments.scenario import AppWorkload, NodeFailure, Scenario
+from ..faults.models import (
+    BrownoutFaultSpec,
+    CrashFaultSpec,
+    FaultPlanSpec,
+    FlapFaultSpec,
+    ZoneOutageSpec,
+)
+from ..faults.plan import compile_faults, validate_failure_schedule
 from ..sim.rng import RngRegistry
 from ..workloads.jobs import JobSpec
 from ..workloads.profiles import (
@@ -348,6 +375,28 @@ class TopologySpec:
             return sum(cls.cpu_capacity for cls in self.classes)
         return self.total_nodes * self.processors * self.mhz_per_processor
 
+    def node_ids(self) -> list[str]:
+        """Node identifiers in registration order, matching the scenario's
+        cluster build (``node000`` ... for homogeneous topologies,
+        ``<class>-000`` ... per class otherwise)."""
+        if self.classes:
+            return [
+                f"{cls.name}-{i:03d}"
+                for cls in self.classes
+                for i in range(cls.count)
+            ]
+        return [f"node{i:03d}" for i in range(self.total_nodes)]
+
+    def node_class_of(self) -> dict[str, str]:
+        """``node_id -> class name`` map (empty for homogeneous topologies)."""
+        if not self.classes:
+            return {}
+        return {
+            f"{cls.name}-{i:03d}": cls.name
+            for cls in self.classes
+            for i in range(cls.count)
+        }
+
     def to_dict(self) -> dict:
         if self.classes:
             return {"classes": [dataclasses.asdict(cls) for cls in self.classes]}
@@ -632,6 +681,52 @@ class JobTraceSpec:
 
 
 # ----------------------------------------------------------------------
+# Stochastic fault plans
+# ----------------------------------------------------------------------
+#: Fault-plan list fields, their item spec classes, serialization order.
+_FAULT_FIELDS = (
+    ("crashes", CrashFaultSpec),
+    ("zone_outages", ZoneOutageSpec),
+    ("brownouts", BrownoutFaultSpec),
+    ("flaps", FlapFaultSpec),
+)
+
+
+def _faults_to_dict(plan: FaultPlanSpec) -> dict:
+    """Serialize a fault plan; empty lists and default stream omitted."""
+    data: dict = {}
+    for fname, _cls in _FAULT_FIELDS:
+        items = getattr(plan, fname)
+        if items:
+            data[fname] = [
+                _strip_nones(dataclasses.asdict(item)) for item in items
+            ]
+    if plan.stream != "faults":
+        data["stream"] = plan.stream
+    return data
+
+
+def _faults_from_dict(data: object, path: str) -> FaultPlanSpec:
+    data = _expect_mapping(data, path)
+    kwargs: dict = {}
+    for fname, item_cls in _FAULT_FIELDS:
+        if fname not in data:
+            continue
+        raw = _as_list(data.pop(fname), f"{path}.{fname}")
+        kwargs[fname] = tuple(
+            _build_config(item_cls, item, f"{path}.{fname}[{i}]")
+            for i, item in enumerate(raw)
+        )
+    if "stream" in data:
+        kwargs["stream"] = _as_str(data.pop("stream"), f"{path}.stream")
+    _no_unknown(data, path)
+    try:
+        return FaultPlanSpec(**kwargs)
+    except ConfigurationError as exc:
+        raise SpecValidationError(f"{path}: {exc}") from None
+
+
+# ----------------------------------------------------------------------
 # The scenario spec
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)
@@ -648,6 +743,7 @@ class ScenarioSpec:
     costs: ActionCosts = field(default_factory=ActionCosts)
     noise: NoiseConfig = field(default_factory=NoiseConfig)
     failures: tuple[NodeFailure, ...] = ()
+    faults: Optional[FaultPlanSpec] = None
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -661,14 +757,48 @@ class ScenarioSpec:
             raise SpecValidationError(
                 "apps: at least one transactional app is required"
             )
+        try:
+            validate_failure_schedule(self.failures)
+        except ConfigurationError as exc:
+            raise SpecValidationError(str(exc)) from None
 
     # -- materialization ----------------------------------------------
     def materialize(self) -> Scenario:
-        """Build the executable :class:`Scenario` this spec describes."""
+        """Build the executable :class:`Scenario` this spec describes.
+
+        Stochastic ``faults`` compile here into concrete failure /
+        brownout events, deterministically from the scenario seed: the
+        plan's named RNG stream is drawn from the same
+        :class:`~repro.sim.rng.RngRegistry` as the job trace, so a spec
+        materializes to the identical event schedule every time, and
+        re-seeding (``Experiment.replicate``) yields fresh fault
+        realizations.
+        """
         rngs = RngRegistry(self.seed)
         job_specs = self.jobs.materialize(rngs)
         apps = tuple(app.materialize() for app in self.apps)
         topology = self.topology
+        failures = self.failures
+        brownouts: tuple = ()
+        if self.faults is not None:
+            try:
+                compiled = compile_faults(
+                    self.faults,
+                    node_ids=topology.node_ids(),
+                    node_class_of=topology.node_class_of(),
+                    rng=rngs.stream(self.faults.stream),
+                    horizon=self.horizon,
+                    existing_failures=self.failures,
+                )
+            except ConfigurationError as exc:
+                raise SpecValidationError(f"faults: {exc}") from None
+            failures = tuple(
+                sorted(
+                    self.failures + compiled.failures,
+                    key=lambda f: (f.at, f.node_id),
+                )
+            )
+            brownouts = compiled.brownouts
         if topology.classes:
             first = topology.classes[0]
             node_kwargs = dict(
@@ -694,7 +824,8 @@ class ScenarioSpec:
             noise=self.noise,
             horizon=self.horizon,
             seed=self.seed,
-            failures=self.failures,
+            failures=failures,
+            brownouts=brownouts,
             **node_kwargs,
         )
 
@@ -719,6 +850,8 @@ class ScenarioSpec:
                 _strip_nones(dataclasses.asdict(failure))
                 for failure in self.failures
             ]
+        if self.faults is not None:
+            data["faults"] = _faults_to_dict(self.faults)
         return data
 
     @classmethod
@@ -771,6 +904,12 @@ class ScenarioSpec:
                 _as_list(_pop(data, "failures", path, []), f"{path}.failures")
             )
         )
+        faults_data = _pop(data, "faults", path, None)
+        faults = (
+            None
+            if faults_data is None
+            else _faults_from_dict(faults_data, f"{path}.faults")
+        )
         _no_unknown(data, path)
         return cls(
             name=name,
@@ -783,6 +922,7 @@ class ScenarioSpec:
             costs=costs,
             noise=noise,
             failures=failures,
+            faults=faults,
         )
 
     def to_json(self, indent: Optional[int] = 2) -> str:

@@ -22,6 +22,7 @@ from typing import TYPE_CHECKING
 
 from ..errors import ConfigurationError
 from ..experiments.runner import PolicyFactory, default_policy_factory
+from ..faults.chaos import ChaosPolicy
 from .edf_scheduler import EdfSharedPolicy
 from .fcfs import FcfsSharedPolicy
 from .static_partition import StaticPartitionPolicy
@@ -113,8 +114,23 @@ def tx_priority_policy(scenario: "Scenario") -> "PlacementPolicy":
     )
 
 
+def chaos_utility_policy(scenario: "Scenario") -> "PlacementPolicy":
+    """The utility controller with seeded random decide() failures.
+
+    Chaos-testing factory: wraps the default policy in a
+    :class:`~repro.faults.chaos.ChaosPolicy` that deterministically
+    (from the scenario seed) raises on ~20% of control cycles, so the
+    :class:`~repro.core.resilient.ResilientController` fallback path is
+    exercised end-to-end by the ``chaos-smoke`` CI job.
+    """
+    return ChaosPolicy(
+        default_policy_factory(scenario), error_rate=0.2, seed=scenario.seed
+    )
+
+
 register_policy("utility", default_policy_factory)
 register_policy("static-partition", static_partition_policy)
 register_policy("fcfs", fcfs_policy)
 register_policy("edf", edf_policy)
 register_policy("tx-priority", tx_priority_policy)
+register_policy("chaos-utility", chaos_utility_policy)

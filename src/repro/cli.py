@@ -8,6 +8,8 @@ placement policy, with spec-level overrides::
     repro run paper --policy fcfs               # pick a baseline by name
     repro run smoke --horizon 600 --set controller.control_cycle=300
     repro run smoke --shards 4                  # sharded control plane
+    repro run chaos-soak --policy chaos-utility # fault-injection soak
+    repro run smoke --no-resilient              # faults abort the run
     repro run --spec examples/specs/smoke.json  # from a spec file
     repro show heterogeneous-cluster --format toml > hetero.toml
     repro sweep smoke --param controller.control_cycle \\
@@ -85,6 +87,8 @@ def _base_overrides(args: argparse.Namespace) -> dict[str, object]:
         overrides.setdefault("seed", args.seed)
     if getattr(args, "shards", None) is not None:
         overrides.setdefault("controller.shards", args.shards)
+    if getattr(args, "no_resilient", False):
+        overrides.setdefault("controller.resilient", False)
     return overrides
 
 
@@ -242,6 +246,11 @@ def _add_spec_arguments(
         "--shards", type=int, default=None, metavar="K",
         help="partition the cluster into K shards (sharded control "
              "plane; shorthand for --set controller.shards=K)",
+    )
+    parser.add_argument(
+        "--no-resilient", action="store_true",
+        help="disable the graceful-degradation wrapper (shorthand for "
+             "--set controller.resilient=false); faults then abort the run",
     )
     parser.add_argument(
         "--set", action="append", metavar="KEY=VALUE", default=[],

@@ -4,10 +4,17 @@ Tracks which nodes are *active* (powered and healthy).  Failure injection
 (:meth:`Cluster.fail_node` / :meth:`Cluster.restore_node`) removes and
 returns capacity; the experiment runner is responsible for rescuing the
 workloads that were placed on a failed node.
+
+Brownouts (:meth:`Cluster.set_brownout` / :meth:`Cluster.clear_brownout`)
+model partial degradation: the node stays active but every lookup returns
+a spec whose per-processor speed is derated to the brownout fraction, so
+controllers and placement validation see the reduced capacity without any
+special-casing.
 """
 
 from __future__ import annotations
 
+import dataclasses
 from typing import Iterable, Iterator
 
 from ..errors import ConfigurationError, UnknownEntityError
@@ -27,6 +34,7 @@ class Cluster:
         if not self._nodes:
             raise ConfigurationError("cluster must contain at least one node")
         self._failed: set[str] = set()
+        self._brownout: dict[str, float] = {}
 
     # ------------------------------------------------------------------
     # Lookup
@@ -35,7 +43,7 @@ class Cluster:
         return len(self._nodes)
 
     def __iter__(self) -> Iterator[NodeSpec]:
-        return iter(self._nodes.values())
+        return iter(self._effective(n) for n in self._nodes.values())
 
     def __contains__(self, node_id: str) -> bool:
         return node_id in self._nodes
@@ -49,9 +57,18 @@ class Cluster:
             If no such node exists.
         """
         try:
-            return self._nodes[node_id]
+            return self._effective(self._nodes[node_id])
         except KeyError:
             raise UnknownEntityError(f"unknown node {node_id!r}") from None
+
+    def _effective(self, node: NodeSpec) -> NodeSpec:
+        """The node spec with any brownout derating applied."""
+        fraction = self._brownout.get(node.node_id)
+        if fraction is None:
+            return node
+        return dataclasses.replace(
+            node, mhz_per_processor=node.mhz_per_processor * fraction
+        )
 
     @property
     def node_ids(self) -> list[str]:
@@ -81,8 +98,50 @@ class Cluster:
         return set(self._failed)
 
     def active_nodes(self) -> list[NodeSpec]:
-        """All healthy nodes, in registration order."""
-        return [n for nid, n in self._nodes.items() if nid not in self._failed]
+        """All healthy nodes (brownout-derated), in registration order."""
+        return [
+            self._effective(n)
+            for nid, n in self._nodes.items()
+            if nid not in self._failed
+        ]
+
+    # ------------------------------------------------------------------
+    # Brownouts
+    # ------------------------------------------------------------------
+    def set_brownout(self, node_id: str, fraction: float) -> None:
+        """Derate ``node_id`` to ``fraction`` of its nominal CPU speed."""
+        if node_id not in self._nodes:
+            raise UnknownEntityError(f"unknown node {node_id!r}")
+        if not 0 < fraction <= 1:
+            raise ConfigurationError("brownout fraction must be in (0, 1]")
+        if fraction == 1.0:
+            self._brownout.pop(node_id, None)
+        else:
+            self._brownout[node_id] = fraction
+
+    def clear_brownout(self, node_id: str) -> None:
+        """Restore ``node_id`` to its nominal CPU speed."""
+        if node_id not in self._nodes:
+            raise UnknownEntityError(f"unknown node {node_id!r}")
+        self._brownout.pop(node_id, None)
+
+    def brownout_fraction(self, node_id: str) -> float:
+        """Current speed fraction of ``node_id`` (1.0 when not browned out)."""
+        if node_id not in self._nodes:
+            raise UnknownEntityError(f"unknown node {node_id!r}")
+        return self._brownout.get(node_id, 1.0)
+
+    @property
+    def brownout_capacity_fraction(self) -> float:
+        """Fraction of active *nominal* CPU currently shed by brownouts."""
+        nominal = sum(
+            n.cpu_capacity
+            for nid, n in self._nodes.items()
+            if nid not in self._failed
+        )
+        if nominal <= 0:
+            return 0.0
+        return 1.0 - self.total_cpu_capacity / nominal
 
     # ------------------------------------------------------------------
     # Aggregate capacity

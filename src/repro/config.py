@@ -172,6 +172,28 @@ class ControllerConfig:
         Name of the registered node-to-shard partitioning strategy
         (``"round-robin"`` | ``"zone"``; see
         :func:`repro.core.shard_arbiter.make_shard_planner`).
+    resilient:
+        Whether the experiment runner wraps the policy in
+        :class:`repro.core.resilient.ResilientController`: every decision
+        is feasibility-checked before it is applied, and an exception
+        escaping ``decide()`` (or an infeasible decision) degrades the
+        cycle to the last-known-good placement instead of aborting the
+        run.  ``False`` lets failures propagate (useful when debugging a
+        policy).
+    decide_budget_ms:
+        Wall-clock budget for one ``decide()`` call in milliseconds
+        (``None`` = no deadline).  Overruns are counted in the
+        ``decide_overruns`` recorder counter; with
+        ``decide_budget_strict`` they additionally degrade the cycle.
+        Wall-clock is host-dependent, so registered scenarios leave this
+        unset to preserve seed determinism.
+    decide_budget_strict:
+        Whether a budget overrun falls back to the last-known-good
+        placement (strict) or merely increments the overrun accounting.
+    max_consecutive_degraded:
+        Abort the run with
+        :class:`repro.errors.DegradedModeError` after more than this many
+        consecutive degraded cycles (``None`` = degrade forever).
     """
 
     control_cycle: Seconds = 600.0
@@ -189,6 +211,10 @@ class ControllerConfig:
     shards: int = 1
     shard_workers: int = 1
     shard_planner: str = "round-robin"
+    resilient: bool = True
+    decide_budget_ms: Optional[float] = None
+    decide_budget_strict: bool = False
+    max_consecutive_degraded: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.control_cycle <= 0:
@@ -213,6 +239,15 @@ class ControllerConfig:
             raise ConfigurationError("shard_workers must be a positive integer")
         if not self.shard_planner or not isinstance(self.shard_planner, str):
             raise ConfigurationError("shard_planner must be a non-empty string")
+        if self.decide_budget_ms is not None and self.decide_budget_ms <= 0:
+            raise ConfigurationError("decide_budget_ms must be positive or None")
+        if self.max_consecutive_degraded is not None and (
+            not isinstance(self.max_consecutive_degraded, int)
+            or self.max_consecutive_degraded < 1
+        ):
+            raise ConfigurationError(
+                "max_consecutive_degraded must be a positive integer or None"
+            )
 
 
 @dataclass(frozen=True)

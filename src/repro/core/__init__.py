@@ -67,10 +67,12 @@ from .shard_arbiter import (
     make_shard_planner,
     route_by_headroom,
 )
+from .resilient import ResilientController
 from .sharded import ShardedController, ShardedDiagnostics, ShardTelemetry
 
 __all__ = [
     "UtilityDrivenController",
+    "ResilientController",
     "ControlDecision",
     "ControlDiagnostics",
     "ControlState",

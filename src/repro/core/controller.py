@@ -92,6 +92,14 @@ class ControlDiagnostics:
     #: Control-plane telemetry (stage wall-times, cache statistics); None
     #: for policies that do not run the incremental control plane.
     telemetry: Optional[CycleTelemetry] = None
+    #: Graceful degradation (set by
+    #: :class:`repro.core.resilient.ResilientController`): whether this
+    #: cycle fell back to the last-known-good placement, and why.
+    degraded: bool = False
+    fallback_reason: str = ""
+    #: Whether the cycle overran its configured ``decide_budget_ms``
+    #: (non-strict budgets only mark; strict budgets degrade).
+    deadline_overrun: bool = False
 
 
 @dataclass(frozen=True)

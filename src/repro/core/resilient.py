@@ -1,0 +1,284 @@
+"""Graceful degradation around any placement policy.
+
+:class:`ResilientController` wraps a :class:`~repro.experiments.runner.PlacementPolicy`
+and guarantees the control loop three things:
+
+* **No crash:** an exception escaping the wrapped ``decide()`` degrades
+  the cycle instead of aborting the run.
+* **No infeasible apply:** every decision is validated against the
+  cycle's live node set (the same CPU/memory tolerances as
+  :meth:`repro.cluster.placement.Placement.validate`) *before* the runner
+  enacts it; an infeasible decision degrades the cycle.
+* **Bounded decide time accounting:** an optional ``decide_budget_ms``
+  deadline is measured per cycle; overruns are counted, and with
+  ``decide_budget_strict`` they degrade the cycle too.
+
+A *degraded cycle* keeps the last-known-good placement: entries on nodes
+that disappeared are dropped, per-node CPU is scaled down if a brownout
+shrank capacity, and no other action is taken.  The wrapped policy's
+warm state is invalidated so its next successful cycle re-derives a
+consistent view.  On the success path the wrapped policy's decision is
+returned untouched, so a fault-free run is bit-identical to an
+unwrapped one.
+
+``ControllerConfig.max_consecutive_degraded`` bounds how long the system
+may stay degraded before the run is aborted with
+:class:`~repro.errors.DegradedModeError`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from time import perf_counter
+from typing import Mapping, Optional, Sequence
+
+import numpy as np
+
+from ..cluster.node import NodeSpec
+from ..cluster.placement import Placement
+from ..cluster.vm import VmState
+from ..config import ControllerConfig
+from ..errors import DecisionTimeoutError, DegradedModeError
+from ..types import Seconds
+from ..workloads.jobs import Job
+from .actions_planner import plan_actions
+from .controller import ControlDecision, ControlDiagnostics
+from .hypothetical import HypotheticalAllocation
+from .placement_solver import PlacementSolution
+
+#: Feasibility tolerance, matching ``Placement.validate``.
+_EPS = 1e-6
+
+
+class ResilientController:
+    """Pre-apply feasibility guard + last-known-good fallback wrapper."""
+
+    def __init__(
+        self, inner: object, config: Optional[ControllerConfig] = None
+    ) -> None:
+        self.inner = inner
+        self.config = config or ControllerConfig()
+        #: Cumulative accounting, mirrored into the recorder by the runner.
+        self.degraded_cycles = 0
+        self.deadline_overruns = 0
+        self._consecutive_degraded = 0
+
+    # ------------------------------------------------------------------
+    # PlacementPolicy interface
+    # ------------------------------------------------------------------
+    def observe_app(
+        self, app_id: str, *, load: float, service_cycles: Optional[float] = None
+    ) -> None:
+        self.inner.observe_app(app_id, load=load, service_cycles=service_cycles)
+
+    def decide(
+        self,
+        t: Seconds,
+        *,
+        nodes: Sequence[NodeSpec],
+        jobs: Sequence[Job],
+        current_placement: Placement,
+        vm_states: Mapping[str, VmState],
+        app_nodes: Mapping[str, frozenset[str]],
+    ) -> ControlDecision:
+        budget = self.config.decide_budget_ms
+        started = perf_counter()
+        try:
+            decision = self.inner.decide(
+                t,
+                nodes=nodes,
+                jobs=jobs,
+                current_placement=current_placement,
+                vm_states=vm_states,
+                app_nodes=app_nodes,
+            )
+        except DegradedModeError:
+            raise
+        except DecisionTimeoutError:
+            # A policy with an in-band deadline signalled it explicitly.
+            self.deadline_overruns += 1
+            return self._degrade(
+                t, nodes, current_placement, vm_states, reason="deadline"
+            )
+        except Exception as exc:  # noqa: BLE001 - the whole point
+            return self._degrade(
+                t,
+                nodes,
+                current_placement,
+                vm_states,
+                reason=f"exception:{type(exc).__name__}",
+            )
+        elapsed_ms = (perf_counter() - started) * 1e3
+        overrun = budget is not None and elapsed_ms > budget
+        if overrun:
+            self.deadline_overruns += 1
+            if self.config.decide_budget_strict:
+                return self._degrade(
+                    t, nodes, current_placement, vm_states, reason="deadline"
+                )
+        violation = self._infeasibility(decision, nodes)
+        if violation is not None:
+            return self._degrade(
+                t, nodes, current_placement, vm_states, reason="infeasible"
+            )
+        self._consecutive_degraded = 0
+        if overrun:
+            decision = self._mark_overrun(decision)
+        return decision
+
+    def close(self) -> None:
+        """Release the wrapped policy's resources (shard pools)."""
+        close = getattr(self.inner, "close", None)
+        if close is not None:
+            close()
+
+    def __enter__(self) -> "ResilientController":
+        return self
+
+    def __exit__(self, *exc_info: object) -> bool:
+        self.close()
+        return False
+
+    def __getattr__(self, name: str):
+        if name == "inner":
+            raise AttributeError(name)
+        return getattr(self.inner, name)
+
+    # ------------------------------------------------------------------
+    # Degraded cycle
+    # ------------------------------------------------------------------
+    def _degrade(
+        self,
+        t: Seconds,
+        nodes: Sequence[NodeSpec],
+        current_placement: Placement,
+        vm_states: Mapping[str, VmState],
+        reason: str,
+    ) -> ControlDecision:
+        self.degraded_cycles += 1
+        self._consecutive_degraded += 1
+        limit = self.config.max_consecutive_degraded
+        if limit is not None and self._consecutive_degraded > limit:
+            raise DegradedModeError(
+                f"{self._consecutive_degraded} consecutive degraded cycles "
+                f"(limit {limit}); last fallback reason: {reason}"
+            )
+        self._invalidate_inner()
+        placement = self._last_known_good(current_placement, nodes)
+        actions = plan_actions(current_placement, placement, vm_states)
+        job_rates: dict[str, float] = {}
+        app_allocations: dict[str, float] = {}
+        for entry in placement:
+            if entry.vm_id.startswith("tx:") and "@" in entry.vm_id:
+                app_id = entry.vm_id[3:].split("@", 1)[0]
+                app_allocations[app_id] = (
+                    app_allocations.get(app_id, 0.0) + entry.cpu_mhz
+                )
+            else:
+                job_rates[entry.vm_id] = entry.cpu_mhz
+        solution = PlacementSolution(
+            placement=placement,
+            job_rates=job_rates,
+            app_allocations=app_allocations,
+        )
+        hypothetical = HypotheticalAllocation(
+            utility_level=math.nan,
+            rates=np.zeros(0),
+            utilities=np.zeros(0),
+            mean_utility=math.nan,
+            consumed=solution.satisfied_lr_demand,
+        )
+        diagnostics = ControlDiagnostics(
+            time=t,
+            capacity=float(sum(n.cpu_capacity for n in nodes)),
+            tx_demand=math.nan,
+            lr_demand=math.nan,
+            tx_target=math.nan,
+            lr_target=math.nan,
+            tx_utility_predicted=math.nan,
+            lr_utility_mean=math.nan,
+            lr_utility_level=math.nan,
+            equalized=False,
+            arbiter_iterations=0,
+            population_size=0,
+            degraded=True,
+            fallback_reason=reason,
+        )
+        return ControlDecision(
+            actions=actions,
+            placement=placement,
+            solution=solution,
+            hypothetical=hypothetical,
+            diagnostics=diagnostics,
+        )
+
+    def _invalidate_inner(self) -> None:
+        """Force the wrapped policy cold: its warm state may not match the
+        placement the degraded cycle kept."""
+        state = getattr(self.inner, "control_state", None)
+        if state is not None:
+            state.invalidate("degraded")
+            return
+        invalidate = getattr(self.inner, "invalidate", None)
+        if invalidate is not None:
+            invalidate("degraded")
+
+    def _last_known_good(
+        self, current_placement: Placement, nodes: Sequence[NodeSpec]
+    ) -> Placement:
+        """The incumbent placement restricted to live capacity."""
+        specs = {n.node_id: n for n in nodes}
+        placement = Placement()
+        for entry in current_placement:
+            if entry.node_id in specs:
+                placement.add(entry)
+        for node_id, spec in specs.items():
+            cpu = placement.cpu_used(node_id)
+            capacity = spec.cpu_capacity
+            if cpu > capacity and cpu > 0:
+                # A brownout shrank the node below the incumbent grant:
+                # scale every entry proportionally to fit.
+                scale = capacity / cpu
+                for entry in list(placement.entries_on(node_id)):
+                    placement.update_cpu(entry.vm_id, entry.cpu_mhz * scale)
+        return placement
+
+    # ------------------------------------------------------------------
+    # Feasibility guard
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _infeasibility(
+        decision: ControlDecision, nodes: Sequence[NodeSpec]
+    ) -> Optional[str]:
+        """Why the decision cannot be applied to the live cluster, if so."""
+        specs = {n.node_id: n for n in nodes}
+        placement = decision.placement
+        for node_id, _entries in placement.by_node().items():
+            spec = specs.get(node_id)
+            if spec is None:
+                return f"placement uses unknown or inactive node {node_id!r}"
+            cpu = placement.cpu_used(node_id)
+            if cpu > spec.cpu_capacity * (1 + _EPS) + _EPS:
+                return (
+                    f"node {node_id!r} CPU overcommitted: "
+                    f"{cpu:.1f} > {spec.cpu_capacity:.1f} MHz"
+                )
+            memory = placement.memory_used(node_id)
+            if memory > spec.memory_mb * (1 + _EPS) + _EPS:
+                return (
+                    f"node {node_id!r} memory overcommitted: "
+                    f"{memory:.1f} > {spec.memory_mb:.1f} MB"
+                )
+        return None
+
+    def _mark_overrun(self, decision: ControlDecision) -> ControlDecision:
+        try:
+            diagnostics = dataclasses.replace(
+                decision.diagnostics, deadline_overrun=True
+            )
+            return dataclasses.replace(decision, diagnostics=diagnostics)
+        except TypeError:
+            # Custom policies may carry diagnostics without the field;
+            # the wrapper-level counter still accounts the overrun.
+            return decision

@@ -40,9 +40,10 @@ which is the intended sharded-front-end semantic.
 from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from itertools import chain
-from time import perf_counter
+from time import perf_counter, sleep
 from typing import Mapping, Optional, Sequence
 
 import numpy as np
@@ -67,6 +68,17 @@ from .shard_arbiter import ShardArbiter, ShardSplit, make_shard_planner, route_b
 #: Job phases that participate in shard routing (completed/cancelled jobs
 #: are filtered by every shard's own snapshot anyway).
 _ROUTABLE_PHASES = (JobPhase.PENDING, JobPhase.RUNNING, JobPhase.SUSPENDED)
+
+#: Worker-pool fault tolerance: rebuild attempts within one decide() when
+#: the pool breaks (a worker was killed), linear backoff between attempts,
+#: and the consecutive-break budget after which the pool is abandoned and
+#: the controller runs serially for the rest of its life.  Retrying is
+#: state-safe because the parent's sub-controllers are only replaced from
+#: results -- a broken map mutated nothing, so resubmitting the same
+#: tasks reproduces the exact same decisions.
+_POOL_REBUILD_RETRIES = 2
+_POOL_BACKOFF_S = 0.05
+_POOL_PERMANENT_FAILURES = 3
 
 
 @dataclass(frozen=True)
@@ -98,6 +110,10 @@ class ShardedDiagnostics(ControlDiagnostics):
     shard_imbalance: float = 0.0
     #: The top-level arbiter's common level ``u*`` across shards.
     shard_split_level: float = 0.0
+    #: ``BrokenProcessPool`` incidents absorbed during this cycle (the
+    #: pool was rebuilt or the cycle fell back to serial execution; the
+    #: decisions themselves are unaffected).
+    pool_failures: int = 0
 
 
 def _decide_shard(
@@ -177,6 +193,13 @@ class ShardedController:
         #: Observations buffered until decide() knows the shard capacities.
         self._pending_obs: list[tuple[str, float, Optional[float]]] = []
         self._pool: Optional[ProcessPoolExecutor] = None
+        #: Worker-pool fault accounting (see module constants): lifetime
+        #: BrokenProcessPool incidents, the consecutive-break streak, and
+        #: whether the pool has been permanently abandoned for serial
+        #: execution.
+        self.pool_failures = 0
+        self._consecutive_pool_failures = 0
+        self._pool_disabled = False
         #: Last cycle's cross-shard split / per-shard views (telemetry,
         #: tests); ``None`` before the first multi-shard cycle.
         self.last_split: Optional[ShardSplit] = None
@@ -271,9 +294,11 @@ class ShardedController:
         tasks = self._build_tasks(
             t, shard_nodes, shard_jobs, current_placement, vm_states, app_nodes
         )
-        if self.config.shard_workers > 1:
-            results = list(self._ensure_pool().map(_decide_shard, tasks))
-        else:
+        cycle_pool_failures = 0
+        results = None
+        if self.config.shard_workers > 1 and not self._pool_disabled:
+            results, cycle_pool_failures = self._map_resilient(tasks)
+        if results is None:
             results = [_decide_shard(task) for task in tasks]
         decisions: list[ControlDecision] = []
         for s, (controller, decision) in enumerate(results):
@@ -291,13 +316,58 @@ class ShardedController:
             split,
             split.iterations if split_ran else 0,
             wall_ms,
+            cycle_pool_failures,
         )
+
+    @property
+    def pool_disabled(self) -> bool:
+        """Whether the worker pool was permanently abandoned after
+        ``_POOL_PERMANENT_FAILURES`` consecutive breaks."""
+        return self._pool_disabled
+
+    def _map_resilient(
+        self, tasks: list[tuple]
+    ) -> tuple[Optional[list[tuple]], int]:
+        """Run the shard tasks on the pool, absorbing BrokenProcessPool.
+
+        Returns ``(results, incidents)``; ``results`` is ``None`` when
+        every attempt failed and the caller must run the tasks serially.
+        """
+        incidents = 0
+        for attempt in range(_POOL_REBUILD_RETRIES + 1):
+            try:
+                results = list(self._ensure_pool().map(_decide_shard, tasks))
+            except BrokenProcessPool:
+                incidents += 1
+                self.pool_failures += 1
+                self._consecutive_pool_failures += 1
+                self._discard_pool()
+                if self._consecutive_pool_failures >= _POOL_PERMANENT_FAILURES:
+                    self._pool_disabled = True
+                    return None, incidents
+                sleep(_POOL_BACKOFF_S * (attempt + 1))
+                continue
+            self._consecutive_pool_failures = 0
+            return results, incidents
+        return None, incidents
+
+    def _discard_pool(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
 
     def close(self) -> None:
         """Shut the worker pool down (no-op when serial or already closed)."""
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
+
+    def __enter__(self) -> "ShardedController":
+        return self
+
+    def __exit__(self, *exc_info: object) -> bool:
+        self.close()
+        return False
 
     # ------------------------------------------------------------------
     # Partitioning
@@ -464,6 +534,7 @@ def _merge_decisions(
     split: ShardSplit,
     split_iterations: int,
     wall_ms: float,
+    pool_failures: int = 0,
 ) -> ControlDecision:
     """Fuse per-shard decisions into one cluster-level decision.
 
@@ -549,6 +620,7 @@ def _merge_decisions(
         shard_telemetry=shard_telemetry,
         shard_imbalance=split.imbalance,
         shard_split_level=split.level,
+        pool_failures=pool_failures,
     )
     actions = tuple(chain.from_iterable(d.actions for d in decisions))
     return ControlDecision(

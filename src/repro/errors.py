@@ -60,3 +60,22 @@ class ShapeValidationError(ReproError):
     not exhibit the qualitative features reported by the paper (crossover,
     equalization, recovery, ...).
     """
+
+
+class DecisionTimeoutError(ReproError):
+    """A control cycle overran its ``decide_budget_ms`` deadline.
+
+    Raised by :class:`repro.core.resilient.ResilientController` when the
+    wrapped policy exceeds the configured decision budget and
+    ``decide_budget_strict`` is set; non-strict overruns are only counted.
+    """
+
+
+class DegradedModeError(ReproError):
+    """The control plane stayed degraded for too many consecutive cycles.
+
+    Raised by :class:`repro.core.resilient.ResilientController` once more
+    than ``max_consecutive_degraded`` cycles in a row fell back to the
+    last-known-good placement, signalling that graceful degradation has
+    stopped being a transient condition.
+    """

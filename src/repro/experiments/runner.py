@@ -36,7 +36,10 @@ from ..cluster.cluster import Cluster
 from ..cluster.node import NodeSpec
 from ..cluster.placement import Placement
 from ..cluster.vm import VmState
+import numpy as np
+
 from ..core.controller import ControlDecision, UtilityDrivenController
+from ..core.resilient import ResilientController
 from ..core.sharded import ShardedController
 from ..core.hypothetical import (
     longrunning_max_utility_demand,
@@ -158,6 +161,15 @@ class ExperimentResult:
         of consumed-curve lookups the equalizer's memo served, and
         ``decide_ms_mean`` the mean decide() wall-time per cycle --
         the one *nondeterministic* metric in this set (wall-clock).
+
+        Degradation telemetry: ``degraded_cycles`` counts cycles that
+        fell back to the last-known-good placement,
+        ``brownout_fraction`` is the time-averaged share of active
+        nominal CPU shed by brownouts (0.0 without brownouts), and
+        ``time_to_recover_mean`` averages, over failure episodes, the
+        time from the failure instant until the minimum of the two
+        workload utilities re-attains its pre-failure level (NaN when no
+        failure occurred or none recovered within the horizon).
         """
         rec = self.recorder
         horizon = self.scenario.horizon
@@ -193,6 +205,13 @@ class ExperimentResult:
                 else math.nan
             ),
             "decide_ms_mean": decide_ms,
+            "degraded_cycles": float(rec.counter("degraded_cycles")),
+            "brownout_fraction": (
+                rec.series("brownout_fraction").time_average(0.0, horizon)
+                if rec.has_series("brownout_fraction")
+                else 0.0
+            ),
+            "time_to_recover_mean": _mean_time_to_recover(rec),
         }
 
     def to_dict(self) -> dict[str, object]:
@@ -263,6 +282,41 @@ class ExperimentResult:
         return [series_path, summary_path]
 
 
+def _mean_time_to_recover(rec: Recorder) -> float:
+    """Mean failure-to-SLA-re-attainment time over recovery episodes.
+
+    For every failure instant ``f`` (the ``node_failures_series`` sample
+    times -- simultaneous zone-outage failures collapse into one
+    episode), the pre-failure SLA level is the last recorded
+    ``min(tx_utility, lr_utility)`` at or before ``f``; the episode
+    recovers at the first later cycle whose min-utility reaches that
+    level again (small tolerance for float noise).  NaN when there were
+    no failures, no pre-failure sample, or no episode recovered.
+    """
+    if not rec.has_series("node_failures_series") or not rec.has_series(
+        "tx_utility"
+    ):
+        return math.nan
+    tx = rec.series("tx_utility")
+    lr = rec.series("lr_utility")
+    times = tx.times
+    if times.size == 0:
+        return math.nan
+    min_utility = np.minimum(tx.values, lr.resample(times))
+    recovered: list[float] = []
+    for f in rec.series("node_failures_series").times:
+        before = np.flatnonzero(times <= f)
+        if before.size == 0:
+            continue
+        baseline = min_utility[before[-1]]
+        if not math.isfinite(baseline):
+            continue
+        hits = np.flatnonzero((times > f) & (min_utility >= baseline - 1e-9))
+        if hits.size:
+            recovered.append(float(times[hits[0]] - f))
+    return float(np.mean(recovered)) if recovered else math.nan
+
+
 def _null_non_finite(data: object) -> object:
     """Recursively replace non-finite floats with None (JSON null)."""
     if isinstance(data, float) and not math.isfinite(data):
@@ -283,7 +337,17 @@ class ExperimentRunner:
         policy_factory: Optional[PolicyFactory] = None,
     ) -> None:
         self.scenario = scenario
-        self._policy = (policy_factory or default_policy_factory)(scenario)
+        policy = (policy_factory or default_policy_factory)(scenario)
+        if scenario.controller.resilient and not isinstance(
+            policy, ResilientController
+        ):
+            # Graceful degradation around *any* policy: feasibility-guard
+            # every decision and fall back to the last-known-good
+            # placement instead of aborting the run (see
+            # repro.core.resilient).  The success path is untouched, so
+            # fault-free runs stay bit-identical to unwrapped ones.
+            policy = ResilientController(policy, scenario.controller)
+        self._policy = policy
         self._rngs = RngRegistry(scenario.seed)
         self._sim = Simulator()
         self._cluster: Cluster = scenario.build_cluster()
@@ -337,7 +401,26 @@ class ExperimentRunner:
                     order=ORDER_DEFAULT,
                     tag="node-restore",
                 )
-        self._sim.run(until=scenario.horizon)
+        for brownout in scenario.brownouts:
+            self._sim.at(
+                brownout.at,
+                lambda t, b=brownout: self._begin_brownout(t, b),
+                order=ORDER_DEFAULT,
+                tag="node-brownout",
+            )
+            if brownout.restore_at is not None:
+                self._sim.at(
+                    brownout.restore_at,
+                    lambda t, nid=brownout.node_id: self._cluster.clear_brownout(nid),
+                    order=ORDER_DEFAULT,
+                    tag="node-brownout-end",
+                )
+        try:
+            self._sim.run(until=scenario.horizon)
+        finally:
+            close = getattr(self._policy, "close", None)
+            if close is not None:
+                close()
         return ExperimentResult(
             scenario=scenario,
             recorder=self._recorder,
@@ -512,6 +595,16 @@ class ExperimentRunner:
                 self._apps[app_id].evacuate_node(inst_node)
             self._placement.remove(entry.vm_id)
         self._recorder.bump("node_failures")
+        # Failure instants feed the time-to-recover summary metric;
+        # recording the cumulative count dedupes a zone outage's
+        # simultaneous failures into one recovery episode.
+        self._recorder.record(
+            "node_failures_series", t, self._recorder.counter("node_failures")
+        )
+
+    def _begin_brownout(self, t: Seconds, brownout) -> None:
+        self._cluster.set_brownout(brownout.node_id, brownout.fraction)
+        self._recorder.bump("node_brownouts")
 
     # ------------------------------------------------------------------
     # State views handed to the policy
@@ -620,6 +713,22 @@ class ExperimentRunner:
                 )
                 if st.telemetry.mode != "warm" and st.telemetry.reason:
                     rec.bump(f"invalidations:shard{st.shard}:{st.telemetry.reason}")
+
+        # Graceful degradation and fault telemetry (naming contract:
+        # repro.sim.recorder module docstring).  ``brownout_fraction`` is
+        # recorded every cycle (0.0 while no brownout is active) so its
+        # time average is well-defined for every run.
+        rec.record(
+            "brownout_fraction", t, self._cluster.brownout_capacity_fraction
+        )
+        if getattr(diag, "degraded", False):
+            rec.bump("degraded_cycles")
+            rec.bump(f"fallback:{getattr(diag, 'fallback_reason', '') or 'unknown'}")
+        if getattr(diag, "deadline_overrun", False):
+            rec.bump("decide_overruns")
+        pool_failures = getattr(diag, "pool_failures", 0)
+        if pool_failures:
+            rec.bump("fallback:shard-pool", pool_failures)
 
         counts = {phase: 0 for phase in JobPhase}
         for job in self._jobs.values():

@@ -54,6 +54,25 @@ class NodeFailure:
 
 
 @dataclass(frozen=True)
+class NodeBrownout:
+    """A scheduled capacity brownout: the node keeps running but serves
+    only ``fraction`` of its nominal CPU speed until ``restore_at``."""
+
+    at: Seconds
+    node_id: str
+    fraction: float
+    restore_at: Optional[Seconds] = None
+
+    def __post_init__(self) -> None:
+        if self.at < 0:
+            raise ConfigurationError("brownout time must be non-negative")
+        if not 0 < self.fraction < 1:
+            raise ConfigurationError("brownout fraction must be in (0, 1)")
+        if self.restore_at is not None and self.restore_at <= self.at:
+            raise ConfigurationError("restore_at must come after the brownout")
+
+
+@dataclass(frozen=True)
 class AppWorkload:
     """One managed transactional application plus its load profile."""
 
@@ -83,6 +102,9 @@ class Scenario:
     #: (the ``node_*`` fields then describe the first class, for
     #: homogeneous-only consumers such as the paper-shape validator).
     node_classes: tuple[NodeClass, ...] = field(default_factory=tuple)
+    #: Scheduled capacity brownouts (typically compiled from a
+    #: :class:`repro.faults.FaultPlanSpec` by ``ScenarioSpec.materialize``).
+    brownouts: tuple[NodeBrownout, ...] = field(default_factory=tuple)
 
     def __post_init__(self) -> None:
         if self.num_nodes < 1:
@@ -126,6 +148,10 @@ class Scenario:
     def with_failures(self, failures: Sequence[NodeFailure]) -> "Scenario":
         """Copy of the scenario with scheduled node outages."""
         return replace(self, failures=tuple(failures))
+
+    def with_brownouts(self, brownouts: Sequence[NodeBrownout]) -> "Scenario":
+        """Copy of the scenario with scheduled capacity brownouts."""
+        return replace(self, brownouts=tuple(brownouts))
 
 
 #: Transactional parameters tuned so the app's utility plateau is 0.75

@@ -1,0 +1,39 @@
+"""Stochastic fault injection.
+
+Declarative fault *models* (:class:`FaultPlanSpec` and its per-process
+specs) describe crash/restore renewal processes, correlated zone outages,
+capacity brownouts and flapping nodes.  :func:`compile_faults` expands a
+plan into concrete scheduled events -- :class:`~repro.experiments.scenario.NodeFailure`
+and :class:`~repro.experiments.scenario.NodeBrownout` -- deterministically
+from a seeded generator, so the same ``(spec, seed)`` always produces the
+same fault realization and ``Experiment.replicate`` aggregates over fault
+realizations simply by fanning seeds.
+
+:mod:`repro.faults.chaos` adds the control-plane side: a seeded
+chaos-monkey policy wrapper that injects ``decide()`` exceptions to
+exercise the graceful-degradation path
+(:class:`repro.core.resilient.ResilientController`).
+"""
+
+from .chaos import ChaosPolicy, InjectedFaultError
+from .models import (
+    BrownoutFaultSpec,
+    CrashFaultSpec,
+    FaultPlanSpec,
+    FlapFaultSpec,
+    ZoneOutageSpec,
+)
+from .plan import CompiledFaults, compile_faults, validate_failure_schedule
+
+__all__ = [
+    "BrownoutFaultSpec",
+    "ChaosPolicy",
+    "CompiledFaults",
+    "CrashFaultSpec",
+    "FaultPlanSpec",
+    "FlapFaultSpec",
+    "InjectedFaultError",
+    "ZoneOutageSpec",
+    "compile_faults",
+    "validate_failure_schedule",
+]

@@ -1,0 +1,61 @@
+"""Chaos-monkey policy wrapper.
+
+Node-level faults alone never make a healthy controller misbehave, so the
+graceful-degradation path of
+:class:`repro.core.resilient.ResilientController` needs its own fault
+source: :class:`ChaosPolicy` wraps any placement policy and raises a
+seeded :class:`InjectedFaultError` from ``decide()`` with a fixed
+per-cycle probability.  The injection stream is deterministic in the
+scenario seed (one uniform draw per cycle), so chaos runs stay
+seed-reproducible and replications aggregate over injection patterns.
+
+Registered as the ``"chaos-utility"`` policy (chaos around the default
+utility controller) in :mod:`repro.baselines.registry`.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigurationError, ReproError
+from ..sim.rng import RngRegistry
+
+
+class InjectedFaultError(ReproError):
+    """A deliberate failure injected by :class:`ChaosPolicy`."""
+
+
+class ChaosPolicy:
+    """Wrap ``inner`` and fail ``decide()`` with probability ``error_rate``.
+
+    Every other attribute (``observe_app``, ``control_state``,
+    ``invalidate``, ...) is delegated to the wrapped policy, so the
+    wrapper is transparent to the runner and to
+    :class:`~repro.core.resilient.ResilientController`.
+    """
+
+    def __init__(
+        self,
+        inner: object,
+        *,
+        error_rate: float = 0.2,
+        seed: int = 0,
+        stream: str = "chaos-policy",
+    ) -> None:
+        if not 0 <= error_rate <= 1:
+            raise ConfigurationError("error_rate must be in [0, 1]")
+        self.inner = inner
+        self.error_rate = error_rate
+        self.injected = 0
+        self._rng = RngRegistry(seed).stream(stream)
+
+    def decide(self, t, **kwargs):
+        if float(self._rng.random()) < self.error_rate:
+            self.injected += 1
+            raise InjectedFaultError(
+                f"chaos: injected decide() failure #{self.injected} at t={t:g}"
+            )
+        return self.inner.decide(t, **kwargs)
+
+    def __getattr__(self, name: str):
+        if name == "inner":  # guard half-initialized pickling/copy paths
+            raise AttributeError(name)
+        return getattr(self.inner, name)

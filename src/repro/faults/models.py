@@ -1,0 +1,135 @@
+"""Declarative stochastic fault models.
+
+Each spec describes one *fault process* over a set of eligible nodes;
+``node_class`` restricts a process to nodes of one
+:class:`~repro.cluster.topology.NodeClass` (heterogeneous topologies
+only).  All times are seconds of simulated time; MTBF/MTTR are the means
+of exponential inter-event and repair-duration draws.  Specs are pure
+data -- :func:`repro.faults.plan.compile_faults` turns them into
+scheduled events.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..errors import ConfigurationError
+from ..types import Seconds
+
+
+def _require_positive(name: str, value: float) -> None:
+    if value <= 0:
+        raise ConfigurationError(f"{name} must be positive")
+
+
+@dataclass(frozen=True)
+class CrashFaultSpec:
+    """Independent crash/restore renewal process per eligible node.
+
+    Every eligible node alternates healthy periods of mean ``mtbf``
+    seconds with outages of mean ``mttr`` seconds (both exponential).
+    """
+
+    mtbf: Seconds
+    mttr: Seconds
+    node_class: Optional[str] = None
+    start: Seconds = 0.0
+
+    def __post_init__(self) -> None:
+        _require_positive("mtbf", self.mtbf)
+        _require_positive("mttr", self.mttr)
+        if self.start < 0:
+            raise ConfigurationError("start must be non-negative")
+
+
+@dataclass(frozen=True)
+class ZoneOutageSpec:
+    """Correlated outages taking down a whole zone at once.
+
+    The cluster's nodes are split (in registration order) into ``zones``
+    contiguous zones; each zone has its own outage renewal process and an
+    outage fails every node of the zone simultaneously.
+    """
+
+    zones: int
+    mtbf: Seconds
+    mttr: Seconds
+    start: Seconds = 0.0
+
+    def __post_init__(self) -> None:
+        if self.zones < 1:
+            raise ConfigurationError("zones must be >= 1")
+        _require_positive("mtbf", self.mtbf)
+        _require_positive("mttr", self.mttr)
+        if self.start < 0:
+            raise ConfigurationError("start must be non-negative")
+
+
+@dataclass(frozen=True)
+class BrownoutFaultSpec:
+    """Capacity brownouts: a node temporarily serves ``fraction`` of its
+    nominal CPU speed for a mean ``duration`` seconds, with mean ``mtbf``
+    seconds between episodes per eligible node."""
+
+    mtbf: Seconds
+    duration: Seconds
+    fraction: float
+    node_class: Optional[str] = None
+    start: Seconds = 0.0
+
+    def __post_init__(self) -> None:
+        _require_positive("mtbf", self.mtbf)
+        _require_positive("duration", self.duration)
+        if not 0 < self.fraction < 1:
+            raise ConfigurationError("fraction must be in (0, 1)")
+        if self.start < 0:
+            raise ConfigurationError("start must be non-negative")
+
+
+@dataclass(frozen=True)
+class FlapFaultSpec:
+    """Flapping nodes: bursts of ``flaps`` short outages.
+
+    Episodes arrive per eligible node with mean ``mtbf`` seconds between
+    them; within an episode the node goes down for ``down`` seconds and
+    back up for ``up`` seconds, ``flaps`` times in a row (fixed
+    durations: flapping is a deterministic burst once triggered).
+    """
+
+    mtbf: Seconds
+    flaps: int
+    down: Seconds
+    up: Seconds
+    node_class: Optional[str] = None
+    start: Seconds = 0.0
+
+    def __post_init__(self) -> None:
+        _require_positive("mtbf", self.mtbf)
+        if self.flaps < 1:
+            raise ConfigurationError("flaps must be >= 1")
+        _require_positive("down", self.down)
+        _require_positive("up", self.up)
+        if self.start < 0:
+            raise ConfigurationError("start must be non-negative")
+
+
+@dataclass(frozen=True)
+class FaultPlanSpec:
+    """The ``faults`` block of a scenario spec: a bundle of fault
+    processes plus the name of the RNG stream they draw from.
+
+    An empty plan is valid and compiles to no events.  ``stream`` keys
+    the fault draws in the scenario's :class:`~repro.sim.rng.RngRegistry`
+    so fault realizations are independent of the trace and noise streams.
+    """
+
+    crashes: tuple[CrashFaultSpec, ...] = ()
+    zone_outages: tuple[ZoneOutageSpec, ...] = ()
+    brownouts: tuple[BrownoutFaultSpec, ...] = ()
+    flaps: tuple[FlapFaultSpec, ...] = ()
+    stream: str = "faults"
+
+    def __post_init__(self) -> None:
+        if not self.stream or not isinstance(self.stream, str):
+            raise ConfigurationError("stream must be a non-empty string")

@@ -55,6 +55,26 @@ Sharded runs (``ControllerConfig.shards > 1``) additionally record:
   whole sharded decide and ``stage_ms:overhead`` its excess over the
   summed shard totals (partition/route/merge cost).
 
+Fault injection and graceful degradation (PR 7) additionally record:
+
+* ``brownout_fraction`` series -- fraction of active nominal CPU
+  currently shed by capacity brownouts, sampled every control cycle
+  (0.0 while no brownout is active);
+* ``node_failures_series`` series -- cumulative node-failure count,
+  sampled at each failure instant (simultaneous zone-outage failures
+  collapse into one sample; the times drive the ``time_to_recover_mean``
+  summary metric);
+* counters ``node_failures`` / ``node_brownouts`` -- injected fault
+  events; ``degraded_cycles`` -- control cycles that fell back to the
+  last-known-good placement; ``fallback:<reason>`` -- one counter per
+  degradation cause (``fallback:exception:<ExceptionType>``,
+  ``fallback:infeasible``, ``fallback:deadline``, plus
+  ``fallback:shard-pool`` counting BrokenProcessPool incidents the
+  sharded controller absorbed without degrading); and
+  ``decide_overruns`` -- cycles that exceeded a configured
+  ``decide_budget_ms`` (wall-clock, hence nondeterministic -- like the
+  ``stage_ms:*`` series).
+
 These are ordinary series/counters -- schema consumers that predate them
 simply see extra names, which is the recorder's documented forward-
 compatible evolution path (new names may appear; existing names keep

@@ -1,0 +1,195 @@
+"""Acceptance tests for the graceful-degradation control plane.
+
+The issue's acceptance criterion, end to end: a run with an injected
+controller exception and a killed shard worker completes without
+aborting, records ``fallback:<reason>`` / ``degraded_cycles`` telemetry,
+and the fault-free decision stream is unaffected.
+"""
+
+import dataclasses
+import json
+import math
+import os
+import signal
+
+import pytest
+
+from repro.config import ControllerConfig
+from repro.experiments import run_scenario, smoke_scenario
+from repro.experiments.runner import _mean_time_to_recover, default_policy_factory
+from repro.experiments.scenario import NodeBrownout
+from repro.sim.recorder import Recorder
+
+
+class _Flaky:
+    """Delegating policy that raises on scripted decide() cycles."""
+
+    def __init__(self, inner, fail_cycles=(2, 4)):
+        self.inner = inner
+        self.fail_cycles = set(fail_cycles)
+        self._cycle = 0
+
+    def observe_app(self, app_id, *, load, service_cycles=None):
+        self.inner.observe_app(app_id, load=load, service_cycles=service_cycles)
+
+    def decide(self, t, **kwargs):
+        self._cycle += 1
+        if self._cycle in self.fail_cycles:
+            raise RuntimeError(f"injected failure at cycle {self._cycle}")
+        return self.inner.decide(t, **kwargs)
+
+    def close(self):
+        close = getattr(self.inner, "close", None)
+        if close is not None:
+            close()
+
+
+def _flaky_factory(scenario):
+    return _Flaky(default_policy_factory(scenario))
+
+
+class _WorkerKiller:
+    """Delegating policy that SIGKILLs one shard-pool worker mid-run."""
+
+    def __init__(self, inner, kill_cycle=2):
+        self.inner = inner
+        self.kill_cycle = kill_cycle
+        self._cycle = 0
+
+    def observe_app(self, app_id, *, load, service_cycles=None):
+        self.inner.observe_app(app_id, load=load, service_cycles=service_cycles)
+
+    def decide(self, t, **kwargs):
+        self._cycle += 1
+        if self._cycle == self.kill_cycle:
+            pool = getattr(self.inner, "_pool", None)
+            assert pool is not None and pool._processes, (
+                "shard pool not built before the kill cycle"
+            )
+            os.kill(next(iter(pool._processes)), signal.SIGKILL)
+        return self.inner.decide(t, **kwargs)
+
+    def close(self):
+        self.inner.close()
+
+
+def _killer_factory(scenario):
+    return _WorkerKiller(default_policy_factory(scenario))
+
+
+def _scrubbed_payload(result):
+    """Recorder series + summary without the wall-clock fields."""
+    data = json.loads(result.to_json())
+    data["summary"].pop("decide_ms_mean", None)
+    series = data["recorder"]["series"]
+    for name in list(series):
+        if name.startswith("stage_ms:") or name.startswith("shard_ms:"):
+            del series[name]
+    return data["summary"], series
+
+
+class TestInjectedControllerException:
+    def test_run_completes_and_records_fallback_telemetry(self):
+        result = run_scenario(smoke_scenario(), _flaky_factory)
+        rec = result.recorder
+        assert rec.counter("degraded_cycles") == 2.0
+        assert rec.counter("fallback:exception:RuntimeError") == 2.0
+        assert result.summary_metrics()["degraded_cycles"] == 2.0
+        # The run still produced the full decision stream.
+        assert rec.has_series("tx_utility")
+
+    def test_fault_free_stream_identical_to_unwrapped(self):
+        # resilient=True (the default) wraps the policy; with no fault the
+        # wrapper must be invisible in the serialized result.
+        scenario = smoke_scenario()
+        wrapped = run_scenario(scenario)
+        bare = run_scenario(
+            dataclasses.replace(
+                scenario,
+                controller=dataclasses.replace(
+                    scenario.controller, resilient=False
+                ),
+            )
+        )
+        assert _scrubbed_payload(wrapped) == _scrubbed_payload(bare)
+
+
+class TestKilledShardWorker:
+    @pytest.fixture(scope="class")
+    def sharded_scenario(self):
+        return smoke_scenario().with_controller(
+            ControllerConfig(control_cycle=300.0, shards=2, shard_workers=2)
+        )
+
+    def test_run_survives_a_killed_worker(self, sharded_scenario):
+        result = run_scenario(sharded_scenario, _killer_factory)
+        rec = result.recorder
+        assert rec.counter("fallback:shard-pool") >= 1.0
+        # The pool was rebuilt, not degraded: no cycle fell back.
+        assert rec.counter("degraded_cycles") == 0.0
+
+    def test_killed_worker_changes_no_decision(self, sharded_scenario):
+        killed = run_scenario(sharded_scenario, _killer_factory)
+        clean = run_scenario(sharded_scenario)
+        killed_summary, killed_series = _scrubbed_payload(killed)
+        clean_summary, clean_series = _scrubbed_payload(clean)
+        assert killed_series == clean_series
+        for key, value in clean_summary.items():
+            got = killed_summary[key]
+            if isinstance(value, float) and math.isnan(value):
+                assert math.isnan(got), key
+            else:
+                assert got == value, key
+
+
+class TestBrownoutTelemetry:
+    def test_brownout_fraction_series_tracks_the_event(self):
+        scenario = smoke_scenario().with_brownouts(
+            (
+                NodeBrownout(
+                    at=900.0, node_id="node000", fraction=0.5, restore_at=2100.0
+                ),
+            )
+        )
+        result = run_scenario(scenario)
+        rec = result.recorder
+        assert rec.counter("node_brownouts") == 1.0
+        series = rec.series("brownout_fraction")
+        # node000 sheds half of 12 GHz out of the 48 GHz cluster: 1/8.
+        assert series.value_at(1200.0) == pytest.approx(0.125)
+        assert series.value_at(3000.0) == 0.0
+        assert result.summary_metrics()["brownout_fraction"] > 0.0
+
+    def test_degraded_run_keeps_placement_within_browned_capacity(self):
+        # A brownout plus an injected exception: the degraded cycle must
+        # clamp the last-known-good placement to the derated node.
+        scenario = smoke_scenario().with_brownouts(
+            (NodeBrownout(at=900.0, node_id="node000", fraction=0.3),)
+        )
+        result = run_scenario(scenario, _flaky_factory)
+        assert result.recorder.counter("degraded_cycles") == 2.0
+
+
+class TestTimeToRecover:
+    def test_mean_time_to_recover_from_hand_built_recorder(self):
+        rec = Recorder()
+        rec.record("tx_utility", 0.0, 0.8)
+        rec.record("tx_utility", 600.0, 0.5)   # dip after the failure
+        rec.record("tx_utility", 1200.0, 0.8)  # re-attains the baseline
+        rec.record("lr_utility", 0.0, 0.9)
+        rec.record("node_failures_series", 500.0, 1.0)
+        assert _mean_time_to_recover(rec) == pytest.approx(700.0)
+
+    def test_never_recovered_is_nan(self):
+        rec = Recorder()
+        rec.record("tx_utility", 0.0, 0.8)
+        rec.record("tx_utility", 600.0, 0.5)
+        rec.record("lr_utility", 0.0, 0.9)
+        rec.record("node_failures_series", 500.0, 1.0)
+        assert math.isnan(_mean_time_to_recover(rec))
+
+    def test_no_failures_is_nan(self):
+        rec = Recorder()
+        rec.record("tx_utility", 0.0, 0.8)
+        rec.record("lr_utility", 0.0, 0.9)
+        assert math.isnan(_mean_time_to_recover(rec))

@@ -1,0 +1,122 @@
+"""Chaos property tests: randomized fault plans never break the run.
+
+Three invariants over randomized fault realizations and injected
+controller failures:
+
+* the run always completes (the resilient wrapper absorbs every fault);
+* job accounting is conserved -- every trace job ends the run in exactly
+  one phase and the completion counter matches the completed phases;
+* the single-shard sharded controller stays bit-identical to the
+  monolithic controller under the same fault schedule.
+"""
+
+import dataclasses
+import json
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.registry import chaos_utility_policy
+from repro.core import ShardedController, UtilityDrivenController
+from repro.experiments import run_scenario
+from repro.experiments.runner import default_policy_factory
+from repro.api import (
+    BrownoutFaultSpec,
+    CrashFaultSpec,
+    FaultPlanSpec,
+    FlapFaultSpec,
+    ZoneOutageSpec,
+    scenario_spec,
+)
+from repro.workloads.jobs import JobPhase
+
+
+def _chaos_spec(seed, crash_mtbf, brownout_mtbf, flap, zones):
+    """The smoke scenario (known to place and complete jobs) plus an
+    aggressive randomized fault plan over a 4 ks horizon."""
+    plan = FaultPlanSpec(
+        crashes=(CrashFaultSpec(mtbf=crash_mtbf, mttr=crash_mtbf / 4.0),),
+        zone_outages=(
+            (ZoneOutageSpec(zones=2, mtbf=6_000.0, mttr=400.0),) if zones else ()
+        ),
+        brownouts=(
+            BrownoutFaultSpec(mtbf=brownout_mtbf, duration=500.0, fraction=0.5),
+        ),
+        flaps=(
+            (FlapFaultSpec(mtbf=5_000.0, flaps=2, down=60.0, up=120.0),)
+            if flap
+            else ()
+        ),
+    )
+    base = scenario_spec("smoke", seed=seed).with_overrides({"horizon": 4_000.0})
+    return dataclasses.replace(base, faults=plan)
+
+
+def _scrubbed(result):
+    data = json.loads(result.to_json())
+    data["summary"].pop("decide_ms_mean", None)
+    series = data["recorder"]["series"]
+    for name in list(series):
+        if name.startswith("stage_ms:") or name.startswith("shard_ms:"):
+            del series[name]
+    return json.dumps(data, sort_keys=True)
+
+
+@settings(max_examples=5, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    crash_mtbf=st.floats(min_value=1_500.0, max_value=4_000.0),
+    brownout_mtbf=st.floats(min_value=1_500.0, max_value=4_000.0),
+    flap=st.booleans(),
+    zones=st.booleans(),
+)
+def test_chaos_never_crashes_and_conserves_jobs(
+    seed, crash_mtbf, brownout_mtbf, flap, zones
+):
+    spec = _chaos_spec(seed, crash_mtbf, brownout_mtbf, flap, zones)
+    scenario = spec.materialize()
+    # chaos_utility_policy injects decide() exceptions on top of the
+    # scenario's node faults; the resilient wrapper must absorb both.
+    result = run_scenario(scenario, chaos_utility_policy)
+
+    # Job conservation: every trace job ends in exactly one phase.
+    assert len(result.jobs) == len(scenario.job_specs)
+    phases = [job.phase for job in result.jobs]
+    assert all(isinstance(phase, JobPhase) for phase in phases)
+    completed = sum(1 for phase in phases if phase is JobPhase.COMPLETED)
+    assert result.recorder.counter("jobs_completed") == float(completed)
+
+    # Completed jobs actually finished their work budget.
+    total_work = spec.jobs.template.total_work
+    for job in result.jobs:
+        if job.phase is JobPhase.COMPLETED:
+            assert job.remaining_work <= 1e-6 * total_work
+
+
+@settings(max_examples=3, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+def test_single_shard_bit_identical_to_monolithic_under_faults(seed):
+    spec = _chaos_spec(seed, crash_mtbf=2_000.0, brownout_mtbf=2_500.0,
+                       flap=True, zones=True)
+    scenario = spec.materialize()
+
+    def monolithic(s):
+        return UtilityDrivenController(
+            [w.spec for w in s.apps], s.controller
+        )
+
+    def single_shard(s):
+        return ShardedController([w.spec for w in s.apps], s.controller)
+
+    assert _scrubbed(run_scenario(scenario, monolithic)) == _scrubbed(
+        run_scenario(scenario, single_shard)
+    )
+
+
+def test_default_factory_is_wrapped_resiliently():
+    # The runner wraps any factory product when resilient=True (default);
+    # sanity-check the default path actually survives the chaos policy.
+    spec = _chaos_spec(7, crash_mtbf=2_000.0, brownout_mtbf=2_000.0,
+                       flap=False, zones=False)
+    result = run_scenario(spec.materialize(), default_policy_factory)
+    assert result.cycles > 0

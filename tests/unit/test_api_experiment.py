@@ -40,7 +40,12 @@ class TestExperiment:
         assert a.keys() == b.keys()
         assert a["decide_ms_mean"] > 0 and b["decide_ms_mean"] > 0
         for key in a.keys() - {"decide_ms_mean"}:
-            assert a[key] == b[key], key
+            # NaN-valued metrics (e.g. time_to_recover_mean without any
+            # failure) must match as NaN on both paths.
+            if math.isnan(a[key]) or math.isnan(b[key]):
+                assert math.isnan(a[key]) and math.isnan(b[key]), key
+            else:
+                assert a[key] == b[key], key
 
     def test_json_round_trip_is_metric_identical(self):
         """Acceptance: spec -> JSON -> spec runs byte-identically.

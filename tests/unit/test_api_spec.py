@@ -284,6 +284,11 @@ class TestCheckedInSpecFiles:
         spec = ScenarioSpec.load(REPO_ROOT / "examples/specs/diurnal.toml")
         assert spec == scenario_spec("diurnal")
 
+    def test_chaos_soak_toml_matches_registry(self):
+        spec = ScenarioSpec.load(REPO_ROOT / "examples/specs/chaos-soak.toml")
+        assert spec == scenario_spec("chaos-soak")
+        assert spec.faults is not None
+
 
 class TestNewScenarioShapes:
     """The replication material scenarios expose the advertised structure."""

@@ -2,6 +2,8 @@
 
 import dataclasses
 
+import numpy as np
+
 import pytest
 
 from repro.errors import ConfigurationError
@@ -210,7 +212,11 @@ class TestParallelSweeps:
         for key in serial.points[0].metrics:
             if key == "decide_ms_mean":  # documented wall-clock metric
                 continue
-            assert parallel.metric(key) == serial.metric(key)
+            # equal_nan: metrics like time_to_recover_mean are NaN when
+            # the run saw no failure, on both paths alike.
+            assert np.array_equal(
+                parallel.metric(key), serial.metric(key), equal_nan=True
+            ), key
 
     def test_invalid_workers_rejected(self):
         # ConfigurationError (a ReproError) so the CLI renders it as a

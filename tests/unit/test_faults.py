@@ -1,0 +1,264 @@
+"""Unit tests for the stochastic fault-injection package (repro.faults)."""
+
+import pytest
+
+from repro.api import ScenarioSpec, scenario_spec
+from repro.api.spec import SpecValidationError
+from repro.errors import ConfigurationError
+from repro.experiments.scenario import NodeBrownout, NodeFailure
+from repro.faults import (
+    BrownoutFaultSpec,
+    ChaosPolicy,
+    CrashFaultSpec,
+    FaultPlanSpec,
+    FlapFaultSpec,
+    InjectedFaultError,
+    ZoneOutageSpec,
+    compile_faults,
+    validate_failure_schedule,
+)
+from repro.sim.rng import RngRegistry
+
+
+def _rng(seed=123, stream="faults"):
+    return RngRegistry(seed).stream(stream)
+
+
+NODE_IDS = [f"node{i:03d}" for i in range(5)]
+
+
+class TestFaultModelValidation:
+    def test_crash_rejects_nonpositive_mtbf(self):
+        with pytest.raises(ConfigurationError):
+            CrashFaultSpec(mtbf=0.0, mttr=10.0)
+
+    def test_crash_rejects_nonpositive_mttr(self):
+        with pytest.raises(ConfigurationError):
+            CrashFaultSpec(mtbf=100.0, mttr=-1.0)
+
+    def test_zone_outage_rejects_zero_zones(self):
+        with pytest.raises(ConfigurationError):
+            ZoneOutageSpec(zones=0, mtbf=100.0, mttr=10.0)
+
+    def test_brownout_rejects_fraction_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            BrownoutFaultSpec(mtbf=100.0, duration=10.0, fraction=0.0)
+        with pytest.raises(ConfigurationError):
+            BrownoutFaultSpec(mtbf=100.0, duration=10.0, fraction=1.0)
+
+    def test_flap_rejects_zero_flaps(self):
+        with pytest.raises(ConfigurationError):
+            FlapFaultSpec(mtbf=100.0, flaps=0, down=5.0, up=5.0)
+
+    def test_node_brownout_event_validation(self):
+        with pytest.raises(ConfigurationError):
+            NodeBrownout(at=-1.0, node_id="node000", fraction=0.5)
+        with pytest.raises(ConfigurationError):
+            NodeBrownout(at=0.0, node_id="node000", fraction=1.5)
+        with pytest.raises(ConfigurationError):
+            NodeBrownout(at=10.0, node_id="node000", fraction=0.5, restore_at=5.0)
+
+
+class TestFailureScheduleValidation:
+    def test_accepts_disjoint_outages(self):
+        validate_failure_schedule(
+            (
+                NodeFailure(at=0.0, node_id="a", restore_at=10.0),
+                NodeFailure(at=10.0, node_id="a", restore_at=20.0),
+                NodeFailure(at=5.0, node_id="b"),
+            )
+        )
+
+    def test_rejects_overlapping_outages_of_same_node(self):
+        with pytest.raises(ConfigurationError, match="overlaps"):
+            validate_failure_schedule(
+                (
+                    NodeFailure(at=0.0, node_id="a", restore_at=10.0),
+                    NodeFailure(at=5.0, node_id="a", restore_at=20.0),
+                )
+            )
+
+    def test_permanent_failure_overlaps_everything_later(self):
+        with pytest.raises(ConfigurationError, match="overlaps"):
+            validate_failure_schedule(
+                (
+                    NodeFailure(at=0.0, node_id="a"),  # never restored
+                    NodeFailure(at=100.0, node_id="a", restore_at=110.0),
+                )
+            )
+
+    def test_spec_post_init_rejects_overlap(self):
+        # Satellite: ScenarioSpec.failures is validated at spec-build time.
+        spec = scenario_spec("failure-recovery")
+        with pytest.raises(SpecValidationError, match="overlaps"):
+            ScenarioSpec(
+                name="bad",
+                seed=1,
+                horizon=1000.0,
+                topology=spec.topology,
+                apps=spec.apps,
+                failures=(
+                    NodeFailure(at=0.0, node_id="node001", restore_at=500.0),
+                    NodeFailure(at=100.0, node_id="node001", restore_at=600.0),
+                ),
+            )
+
+
+class TestCompileFaults:
+    def test_deterministic_for_same_stream(self):
+        plan = FaultPlanSpec(
+            crashes=(CrashFaultSpec(mtbf=500.0, mttr=100.0),),
+            zone_outages=(ZoneOutageSpec(zones=2, mtbf=2_000.0, mttr=50.0),),
+            brownouts=(BrownoutFaultSpec(mtbf=800.0, duration=100.0, fraction=0.5),),
+            flaps=(FlapFaultSpec(mtbf=1_500.0, flaps=2, down=10.0, up=20.0),),
+        )
+        kwargs = dict(node_ids=NODE_IDS, node_class_of={}, horizon=5_000.0)
+        first = compile_faults(plan, rng=_rng(), **kwargs)
+        second = compile_faults(plan, rng=_rng(), **kwargs)
+        assert first == second
+        assert first.failures  # aggressive MTBFs actually produce events
+
+    def test_different_seed_changes_schedule(self):
+        plan = FaultPlanSpec(crashes=(CrashFaultSpec(mtbf=500.0, mttr=100.0),))
+        kwargs = dict(node_ids=NODE_IDS, node_class_of={}, horizon=5_000.0)
+        a = compile_faults(plan, rng=_rng(seed=1), **kwargs)
+        b = compile_faults(plan, rng=_rng(seed=2), **kwargs)
+        assert a != b
+
+    def test_compiled_failures_never_overlap_per_node(self):
+        plan = FaultPlanSpec(
+            crashes=(CrashFaultSpec(mtbf=200.0, mttr=150.0),),
+            zone_outages=(ZoneOutageSpec(zones=2, mtbf=400.0, mttr=120.0),),
+            flaps=(FlapFaultSpec(mtbf=300.0, flaps=4, down=30.0, up=10.0),),
+        )
+        compiled = compile_faults(
+            plan, node_ids=NODE_IDS, node_class_of={}, rng=_rng(), horizon=20_000.0
+        )
+        validate_failure_schedule(compiled.failures)  # must not raise
+
+    def test_respects_existing_failures(self):
+        existing = (NodeFailure(at=0.0, node_id=NODE_IDS[0], restore_at=20_000.0),)
+        plan = FaultPlanSpec(crashes=(CrashFaultSpec(mtbf=200.0, mttr=100.0),))
+        compiled = compile_faults(
+            plan,
+            node_ids=NODE_IDS,
+            node_class_of={},
+            rng=_rng(),
+            horizon=20_000.0,
+            existing_failures=existing,
+        )
+        validate_failure_schedule(existing + compiled.failures)  # must not raise
+
+    def test_node_class_filter(self):
+        node_ids = ["modern-000", "modern-001", "legacy-000", "legacy-001"]
+        classes = {n: n.rsplit("-", 1)[0] for n in node_ids}
+        plan = FaultPlanSpec(
+            crashes=(CrashFaultSpec(mtbf=100.0, mttr=50.0, node_class="legacy"),)
+        )
+        compiled = compile_faults(
+            plan, node_ids=node_ids, node_class_of=classes, rng=_rng(), horizon=5_000.0
+        )
+        assert compiled.failures
+        assert all(f.node_id.startswith("legacy-") for f in compiled.failures)
+
+    def test_unknown_node_class_rejected(self):
+        plan = FaultPlanSpec(
+            crashes=(CrashFaultSpec(mtbf=100.0, mttr=50.0, node_class="nope"),)
+        )
+        with pytest.raises(ConfigurationError, match="nope"):
+            compile_faults(
+                plan, node_ids=NODE_IDS, node_class_of={}, rng=_rng(), horizon=100.0
+            )
+
+    def test_more_zones_than_nodes_rejected(self):
+        plan = FaultPlanSpec(
+            zone_outages=(ZoneOutageSpec(zones=9, mtbf=100.0, mttr=10.0),)
+        )
+        with pytest.raises(ConfigurationError):
+            compile_faults(
+                plan, node_ids=NODE_IDS, node_class_of={}, rng=_rng(), horizon=100.0
+            )
+
+    def test_brownouts_sorted_and_bounded(self):
+        plan = FaultPlanSpec(
+            brownouts=(BrownoutFaultSpec(mtbf=300.0, duration=50.0, fraction=0.25),)
+        )
+        compiled = compile_faults(
+            plan, node_ids=NODE_IDS, node_class_of={}, rng=_rng(), horizon=10_000.0
+        )
+        assert compiled.brownouts
+        ats = [(b.at, b.node_id) for b in compiled.brownouts]
+        assert ats == sorted(ats)
+        for b in compiled.brownouts:
+            assert 0.0 <= b.at < 10_000.0
+            assert b.restore_at is not None and b.restore_at > b.at
+            assert b.fraction == 0.25
+
+
+class TestFaultSpecRoundTrip:
+    def test_chaos_soak_round_trips_json_and_toml(self):
+        spec = scenario_spec("chaos-soak")
+        assert spec.faults is not None
+        assert ScenarioSpec.from_json(spec.to_json()) == spec
+        assert ScenarioSpec.from_toml(spec.to_toml()) == spec
+
+    def test_unknown_fault_field_rejected_by_name(self):
+        data = scenario_spec("chaos-soak").to_dict()
+        data["faults"]["meteors"] = []
+        with pytest.raises(SpecValidationError, match="meteors"):
+            ScenarioSpec.from_dict(data)
+
+    def test_bad_fault_item_names_its_path(self):
+        data = scenario_spec("chaos-soak").to_dict()
+        data["faults"]["crashes"][0]["mtbf"] = -1.0
+        with pytest.raises(SpecValidationError, match=r"faults\.crashes\[0\]"):
+            ScenarioSpec.from_dict(data)
+
+    def test_materialize_is_deterministic(self):
+        spec = scenario_spec("chaos-soak")
+        a, b = spec.materialize(), spec.materialize()
+        assert a.failures == b.failures
+        assert a.brownouts == b.brownouts
+        assert a.failures and a.brownouts
+
+    def test_reseeding_changes_the_realization(self):
+        spec = scenario_spec("chaos-soak")
+        other = spec.with_overrides({"seed": spec.seed + 1})
+        assert spec.materialize().failures != other.materialize().failures
+
+
+class TestChaosPolicy:
+    class _Inner:
+        def __init__(self):
+            self.calls = 0
+
+        def observe_app(self, app_id, *, load, service_cycles=None):
+            pass
+
+        def decide(self, t, **kwargs):
+            self.calls += 1
+            return "decision"
+
+    def test_injects_deterministically(self):
+        runs = []
+        for _ in range(2):
+            policy = ChaosPolicy(self._Inner(), error_rate=0.5, seed=9)
+            outcomes = []
+            for t in range(40):
+                try:
+                    outcomes.append(policy.decide(float(t)))
+                except InjectedFaultError:
+                    outcomes.append("boom")
+            runs.append(outcomes)
+        assert runs[0] == runs[1]
+        assert "boom" in runs[0] and "decision" in runs[0]
+
+    def test_zero_rate_never_injects(self):
+        policy = ChaosPolicy(self._Inner(), error_rate=0.0, seed=9)
+        for t in range(20):
+            assert policy.decide(float(t)) == "decision"
+        assert policy.injected == 0
+
+    def test_rejects_bad_rate(self):
+        with pytest.raises(ConfigurationError):
+            ChaosPolicy(self._Inner(), error_rate=1.5)
