@@ -3,8 +3,9 @@
 Every evaluation scenario of the repository -- the paper's Figure 1/2
 run, the fast smoke test, failure injection, service differentiation
 (batch classes and multi-app web rt goals), the consolidation-vs-static
-comparison bed, a heterogeneous cluster, deep overload, a diurnal day
-and a stochastic chaos soak -- is registered here as a *builder*
+comparison bed, a heterogeneous cluster, deep overload, a diurnal day,
+a stochastic chaos soak and the zoned edge-cloud continuum (with its
+cross-zone failover drill) -- is registered here as a *builder*
 returning a
 :class:`~repro.api.spec.ScenarioSpec`, so experiments are reproducible
 from a name alone:
@@ -43,6 +44,7 @@ from ..faults import (
     FlapFaultSpec,
     ZoneOutageSpec,
 )
+from ..netmodel import NetworkSpec, ZoneSpec
 from ..workloads.tracegen import PAPER_JOB_TEMPLATE, JobTemplate
 from .spec import (
     AppSpec,
@@ -472,6 +474,121 @@ def chaos_soak(seed: int = 23) -> ScenarioSpec:
     )
 
 
+def _edge_cloud_parts() -> tuple[tuple[NodeClass, ...], NetworkSpec]:
+    """Topology and network of the edge-cloud continuum scenarios.
+
+    Three zones: a small edge rack close to most users, a metro site one
+    hop away, and a large cloud region far from everyone.  The cloud
+    class is listed *first* so a latency-blind solver -- which orders
+    candidates by free CPU -- naturally lands instances in the cloud,
+    giving the latency-aware objective a meaningful baseline to beat.
+    """
+    classes = (
+        NodeClass(
+            name="cloud", count=3, processors=4,
+            mhz_per_processor=3000.0, memory_mb=4000.0,
+        ),
+        NodeClass(
+            name="metro", count=2, processors=4,
+            mhz_per_processor=2500.0, memory_mb=4000.0,
+        ),
+        NodeClass(
+            name="edge", count=3, processors=2,
+            mhz_per_processor=2000.0, memory_mb=2400.0,
+        ),
+    )
+    network = NetworkSpec(
+        zones=(
+            ZoneSpec("edge", users=70.0),
+            ZoneSpec("metro", users=25.0),
+            ZoneSpec("cloud", users=5.0),
+        ),
+        rtt_ms=(
+            (0.0, 30.0, 150.0),
+            (30.0, 0.0, 120.0),
+            (150.0, 120.0, 0.0),
+        ),
+    )
+    return classes, network
+
+
+def edge_cloud_continuum(seed: int = 19) -> ScenarioSpec:
+    """Three-zone edge/metro/cloud cluster with edge-skewed users.
+
+    Most of the user population sits next to the small edge rack; the
+    transactional demand (~9 GHz, three instances at the request cap)
+    fits entirely inside the distant 36 GHz cloud region, so a
+    latency-blind controller serves everyone from the cloud at ~135 ms
+    expected RTT while the latency-aware objective
+    (``latency_weight=1.0``) pulls the instances to the edge rack.
+    The response-time goal is half the paper's, tight enough
+    that the cloud's network leg alone breaks the end-to-end SLA --
+    ``latency_sla_attainment`` and ``in_zone_fraction`` separate the
+    two configurations (the latency-blind baseline is this same spec
+    with ``controller.latency_weight`` overridden to 0).
+    """
+    classes, network = _edge_cloud_parts()
+    return ScenarioSpec(
+        name="edge-cloud-continuum",
+        seed=seed,
+        horizon=40_000.0,
+        topology=TopologySpec(classes=classes),
+        apps=(
+            _paper_app(
+                sessions=9.0,
+                max_instances=sum(cls.count for cls in classes),
+                rt_goal=PAPER_RT_GOAL * 0.5,
+            ),
+        ),
+        jobs=JobTraceSpec(
+            kind="paper",
+            count=30,
+            mean_interarrival=1_600.0,
+            rate_drop_time=30_000.0,
+        ),
+        controller=ControllerConfig(latency_weight=1.0),
+        network=network,
+    )
+
+
+def cross_zone_failover(seed: int = 29) -> ScenarioSpec:
+    """The continuum topology with a recurring edge-zone outage.
+
+    A stochastic zone-outage process (named zone ``"edge"``) periodically
+    takes the whole edge rack down; the latency-aware controller must
+    fail the user-facing instances over to the metro site and pull them
+    back to the edge on recovery, trading churn against the latency SLA.
+    Composes the network model with the stochastic fault plane.
+    """
+    classes, network = _edge_cloud_parts()
+    return ScenarioSpec(
+        name="cross-zone-failover",
+        seed=seed,
+        horizon=40_000.0,
+        topology=TopologySpec(classes=classes),
+        apps=(
+            _paper_app(
+                sessions=9.0,
+                max_instances=sum(cls.count for cls in classes),
+                rt_goal=PAPER_RT_GOAL * 0.5,
+            ),
+        ),
+        jobs=JobTraceSpec(
+            kind="paper",
+            count=30,
+            mean_interarrival=1_600.0,
+            rate_drop_time=30_000.0,
+        ),
+        controller=ControllerConfig(latency_weight=1.0),
+        faults=FaultPlanSpec(
+            zone_outages=(
+                ZoneOutageSpec(zones=("edge",), mtbf=15_000.0, mttr=3_000.0),
+            ),
+        ),
+        network=network,
+    )
+
+
 register_scenario("paper", paper)
 register_scenario("smoke", smoke)
 register_scenario("failure-recovery", failure_recovery)
@@ -482,3 +599,5 @@ register_scenario("overload", overload)
 register_scenario("multi-app-differentiation", multi_app_differentiation)
 register_scenario("diurnal", diurnal)
 register_scenario("chaos-soak", chaos_soak)
+register_scenario("edge-cloud-continuum", edge_cloud_continuum)
+register_scenario("cross-zone-failover", cross_zone_failover)

@@ -27,6 +27,10 @@ Serialized layout (schema tag ``repro.scenario/v1``)::
       "jobs": {"kind": "paper" | "uniform" | "differentiated" | "none", ...},
       "controller": {..., "solver": {...}},
       "costs": {...}, "noise": {...},
+      "network": {                                  # zoned latency model
+        "rtt_ms": [[0.0, 20.0], [20.0, 0.0]],
+        "zones": [{"name": "edge", "users": 70.0}, ...]
+      },
       "failures": [{"at", "node_id", "restore_at"?}, ...],
       "faults": {                                   # stochastic fault models
         "crashes":      [{"mtbf", "mttr", "node_class"?, "start"?}, ...],
@@ -49,6 +53,14 @@ scenario seed's named RNG stream -- into concrete
 node (among explicit ``failures``, and between them and compiled events)
 are rejected at spec-build / materialization time.
 
+The optional ``network`` block declares the zoned latency model
+(:mod:`repro.netmodel`): a symmetric inter-zone RTT matrix and per-zone
+user populations.  It requires a class-based topology (each
+:class:`~repro.cluster.topology.NodeClass` maps to a declared zone via
+its ``zone`` field, defaulting to the class name) and is purely
+schema-additive -- specs without it parse, materialize and simulate
+exactly as before the network subsystem existed.
+
 Optional fields holding ``None`` (e.g. a failure without ``restore_at``,
 an unlimited ``change_budget``) are omitted on serialization so the same
 canonical form is expressible in TOML, which has no null.
@@ -63,7 +75,7 @@ from pathlib import Path
 from typing import Mapping, Optional, Sequence, Union
 
 from ..cluster.actions import ActionCosts
-from ..cluster.topology import NodeClass
+from ..cluster.topology import NodeClass, zone_map_from_classes
 from ..config import ControllerConfig, NoiseConfig, SolverConfig
 from ..errors import ConfigurationError
 from ..experiments.scenario import AppWorkload, NodeFailure, Scenario
@@ -75,6 +87,7 @@ from ..faults.models import (
     ZoneOutageSpec,
 )
 from ..faults.plan import compile_faults, validate_failure_schedule
+from ..netmodel.spec import NetworkSpec, ZoneSpec
 from ..sim.rng import RngRegistry
 from ..workloads.jobs import JobSpec
 from ..workloads.profiles import (
@@ -397,9 +410,25 @@ class TopologySpec:
             for i in range(cls.count)
         }
 
+    def node_zone_of(self) -> dict[str, str]:
+        """``node_id -> zone`` map (empty for homogeneous topologies).
+
+        A class without an explicit ``zone`` contributes its own name as
+        the zone, matching
+        :func:`repro.cluster.topology.zone_map_from_classes`.
+        """
+        if not self.classes:
+            return {}
+        return zone_map_from_classes(self.classes)
+
     def to_dict(self) -> dict:
         if self.classes:
-            return {"classes": [dataclasses.asdict(cls) for cls in self.classes]}
+            # _strip_nones: ``zone`` is optional and TOML has no null.
+            return {
+                "classes": [
+                    _strip_nones(dataclasses.asdict(cls)) for cls in self.classes
+                ]
+            }
         return {
             "num_nodes": self.num_nodes,
             "processors": self.processors,
@@ -727,6 +756,41 @@ def _faults_from_dict(data: object, path: str) -> FaultPlanSpec:
 
 
 # ----------------------------------------------------------------------
+# Network model
+# ----------------------------------------------------------------------
+def _network_to_dict(network: NetworkSpec) -> dict:
+    """Serialize the ``network`` block (rtt_ms matrix + zone tables)."""
+    return {
+        "rtt_ms": [list(row) for row in network.rtt_ms],
+        "zones": [
+            {"name": zone.name, "users": zone.users} for zone in network.zones
+        ],
+    }
+
+
+def _network_from_dict(data: object, path: str) -> NetworkSpec:
+    data = _expect_mapping(data, path)
+    raw_zones = _as_list(_pop(data, "zones", path), f"{path}.zones")
+    zones = tuple(
+        _build_config(ZoneSpec, item, f"{path}.zones[{i}]")
+        for i, item in enumerate(raw_zones)
+    )
+    raw_rtt = _as_list(_pop(data, "rtt_ms", path), f"{path}.rtt_ms")
+    rtt_ms = tuple(
+        tuple(
+            _as_float(value, f"{path}.rtt_ms[{i}][{j}]")
+            for j, value in enumerate(_as_list(row, f"{path}.rtt_ms[{i}]"))
+        )
+        for i, row in enumerate(raw_rtt)
+    )
+    _no_unknown(data, path)
+    try:
+        return NetworkSpec(zones=zones, rtt_ms=rtt_ms)
+    except ConfigurationError as exc:
+        raise SpecValidationError(f"{path}: {exc}") from None
+
+
+# ----------------------------------------------------------------------
 # The scenario spec
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)
@@ -744,6 +808,7 @@ class ScenarioSpec:
     noise: NoiseConfig = field(default_factory=NoiseConfig)
     failures: tuple[NodeFailure, ...] = ()
     faults: Optional[FaultPlanSpec] = None
+    network: Optional[NetworkSpec] = None
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -761,6 +826,21 @@ class ScenarioSpec:
             validate_failure_schedule(self.failures)
         except ConfigurationError as exc:
             raise SpecValidationError(str(exc)) from None
+        if self.network is not None:
+            if not self.topology.classes:
+                raise SpecValidationError(
+                    "network: requires a class-based topology "
+                    "(topology.classes), which maps node classes to zones"
+                )
+            declared = set(self.network.zone_names())
+            for i, cls in enumerate(self.topology.classes):
+                zone = cls.zone or cls.name
+                if zone not in declared:
+                    raise SpecValidationError(
+                        f"topology.classes[{i}]: zone {zone!r} is not "
+                        f"declared by the network block "
+                        f"(declared: {', '.join(self.network.zone_names())})"
+                    )
 
     # -- materialization ----------------------------------------------
     def materialize(self) -> Scenario:
@@ -789,6 +869,7 @@ class ScenarioSpec:
                     rng=rngs.stream(self.faults.stream),
                     horizon=self.horizon,
                     existing_failures=self.failures,
+                    node_zone_of=topology.node_zone_of(),
                 )
             except ConfigurationError as exc:
                 raise SpecValidationError(f"faults: {exc}") from None
@@ -826,6 +907,7 @@ class ScenarioSpec:
             seed=self.seed,
             failures=failures,
             brownouts=brownouts,
+            network=None if self.network is None else self.network.build(),
             **node_kwargs,
         )
 
@@ -852,6 +934,8 @@ class ScenarioSpec:
             ]
         if self.faults is not None:
             data["faults"] = _faults_to_dict(self.faults)
+        if self.network is not None:
+            data["network"] = _network_to_dict(self.network)
         return data
 
     @classmethod
@@ -910,6 +994,12 @@ class ScenarioSpec:
             if faults_data is None
             else _faults_from_dict(faults_data, f"{path}.faults")
         )
+        network_data = _pop(data, "network", path, None)
+        network = (
+            None
+            if network_data is None
+            else _network_from_dict(network_data, f"{path}.network")
+        )
         _no_unknown(data, path)
         return cls(
             name=name,
@@ -923,6 +1013,7 @@ class ScenarioSpec:
             noise=noise,
             failures=failures,
             faults=faults,
+            network=network,
         )
 
     def to_json(self, indent: Optional[int] = 2) -> str:

@@ -4,6 +4,7 @@ Every registered scenario runs from the CLI alone, under any registered
 placement policy, with spec-level overrides::
 
     repro list                                  # registries + spec schema
+                                                # (zone count, [network] flag)
     repro run smoke                             # registered scenario
     repro run paper --policy fcfs               # pick a baseline by name
     repro run smoke --horizon 600 --set controller.control_cycle=300
@@ -117,7 +118,15 @@ def _cmd_list(args: argparse.Namespace) -> int:
         return 0
     print("scenarios (repro run <name>):")
     for name in available_scenarios():
-        print(f"  {name}")
+        spec = scenario_spec(name)
+        zones = len(spec.network.zones) if spec.network is not None else (
+            len({cls.zone or cls.name for cls in spec.topology.classes})
+            if spec.topology.classes
+            else 1
+        )
+        network = "[network]" if spec.network is not None else ""
+        annotation = f"  ({zones} zone{'s' if zones != 1 else ''}{' ' if network else ''}{network})"
+        print(f"  {name}{annotation}")
     print("\npolicies (--policy <name>):")
     for name in available_policies():
         print(f"  {name}")

@@ -9,7 +9,7 @@ the HPDC'08 evaluation.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Optional, Sequence
 
 from ..errors import ConfigurationError
 from ..types import Megabytes, Mhz
@@ -65,6 +65,12 @@ class NodeClass:
     classes (e.g. a "modern" rack and a "legacy" rack); node ids encode
     the class name -- ``f"{name}-{i:03d}"`` -- for stable ordering and
     readable failure injection targets.
+
+    The optional ``zone`` places every node of the class in a named
+    network zone (see :mod:`repro.netmodel`): several classes may share a
+    zone (e.g. two hardware generations in the same edge site).  When
+    omitted, the class name doubles as the zone -- exactly the id-prefix
+    convention the zone shard planner and zone outages already use.
     """
 
     name: str
@@ -72,10 +78,20 @@ class NodeClass:
     processors: int
     mhz_per_processor: Mhz
     memory_mb: Megabytes
+    # New fields append after the seed ones so positional construction
+    # of this public frozen dataclass keeps working.
+    zone: Optional[str] = None
 
     def __post_init__(self) -> None:
         if not self.name:
             raise ConfigurationError("node class name must be non-empty")
+        if self.zone is not None and (
+            not isinstance(self.zone, str) or not self.zone
+        ):
+            raise ConfigurationError(
+                f"node class {self.name!r}: zone must be a non-empty string "
+                f"or None"
+            )
         if self.count < 1:
             raise ConfigurationError(f"node class {self.name!r}: count must be >= 1")
         if self.processors < 1:
@@ -120,6 +136,20 @@ def cluster_from_classes(classes: Sequence[NodeClass]) -> Cluster:
         for cls in classes
         for i in range(cls.count)
     )
+
+
+def zone_map_from_classes(classes: Sequence[NodeClass]) -> dict[str, str]:
+    """Node-id -> zone map for a :func:`cluster_from_classes` cluster.
+
+    Each node lands in its class's declared ``zone``, or -- for legacy
+    classes without one -- in a zone named after the class, which matches
+    the ``<zone>-NNN`` id-prefix parse used before zones were explicit.
+    """
+    return {
+        f"{cls.name}-{i:03d}": (cls.zone or cls.name)
+        for cls in classes
+        for i in range(cls.count)
+    }
 
 
 def heterogeneous_cluster(rack_specs: Sequence[tuple[int, int, Mhz, Megabytes]]) -> Cluster:

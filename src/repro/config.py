@@ -8,6 +8,7 @@ arbiter settings used throughout the experiments.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Literal, Optional
 
@@ -194,6 +195,17 @@ class ControllerConfig:
         Abort the run with
         :class:`repro.errors.DegradedModeError` after more than this many
         consecutive degraded cycles (``None`` = degrade forever).
+    latency_weight:
+        Weight of the network-RTT term in the latency-aware placement
+        objective (:mod:`repro.netmodel`): each app's perf model is
+        shifted by ``latency_weight x`` the demand-weighted expected
+        RTT of its current placement, and new instances prefer nodes in
+        zones that reduce it.  ``0`` (the default) disables the
+        objective entirely -- bit-identical decisions to the
+        latency-blind controller, even when the scenario declares a
+        ``[network]`` topology.  ``1`` prices network latency at face
+        value against the response-time goal; intermediate values
+        discount it.
     """
 
     control_cycle: Seconds = 600.0
@@ -215,6 +227,7 @@ class ControllerConfig:
     decide_budget_ms: Optional[float] = None
     decide_budget_strict: bool = False
     max_consecutive_degraded: Optional[int] = None
+    latency_weight: float = 0.0
 
     def __post_init__(self) -> None:
         if self.control_cycle <= 0:
@@ -247,6 +260,10 @@ class ControllerConfig:
         ):
             raise ConfigurationError(
                 "max_consecutive_degraded must be a positive integer or None"
+            )
+        if not math.isfinite(self.latency_weight) or self.latency_weight < 0:
+            raise ConfigurationError(
+                "latency_weight must be finite and non-negative"
             )
 
 

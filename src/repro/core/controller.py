@@ -43,7 +43,8 @@ from ..cluster.placement import Placement
 from ..cluster.vm import VmState
 from ..config import ControllerConfig
 from ..errors import UnknownEntityError
-from ..perf.estimator import ParameterTracker
+from ..netmodel.context import NetworkContext
+from ..perf.estimator import ParameterTracker, with_network_delay
 from ..perf.jobmodel import JobPopulation, snapshot_jobs
 from ..types import Mhz, Seconds
 from ..utility.base import UtilityFunction
@@ -132,6 +133,14 @@ class UtilityDrivenController:
         ``config`` (``warm_start`` / ``warm_demand_rtol`` /
         ``warm_seed_depth``); pass one explicitly to share or inspect it
         (benchmarks drive warm and cold controllers this way).
+    network:
+        Optional :class:`~repro.netmodel.context.NetworkContext` binding
+        the scenario's zone topology to the cluster's nodes.  Only
+        consulted when ``config.latency_weight > 0``: each app's perf
+        model is then shifted by the weighted expected network RTT of
+        its current placement, and new instances prefer nodes in zones
+        that reduce it.  With the default weight of 0 the controller is
+        bit-identical to the latency-blind one.
     """
 
     def __init__(
@@ -140,8 +149,15 @@ class UtilityDrivenController:
         config: Optional[ControllerConfig] = None,
         tx_utility_shape: Optional[UtilityFunction] = None,
         control_state: Optional[ControlState] = None,
+        network: Optional[NetworkContext] = None,
     ) -> None:
         self.config = config or ControllerConfig()
+        # Gate once at construction: with a zero weight the context must
+        # be invisible to every decision path.
+        self._network = (
+            network if network is not None and self.config.latency_weight > 0
+            else None
+        )
         self.control_state = control_state or ControlState(
             warm=self.config.warm_start,
             demand_rtol=self.config.warm_demand_rtol,
@@ -233,7 +249,7 @@ class UtilityDrivenController:
         t0 = perf_counter()
         included: list[Job] = []
         population = snapshot_jobs(jobs, t, included=included)
-        tx_curves = self._tx_curves()
+        tx_curves = self._tx_curves(app_nodes)
         tx_curve = (
             tx_curves[0]
             if len(tx_curves) == 1
@@ -264,7 +280,7 @@ class UtilityDrivenController:
         t3 = perf_counter()
 
         app_targets = self._app_targets(tx_curves, tx_curve, split)
-        app_requests = self._app_requests(app_targets, app_nodes)
+        app_requests = self._app_requests(app_targets, app_nodes, nodes)
         job_requests = self._job_requests(included, population, hypothetical)
         t4 = perf_counter()
 
@@ -322,7 +338,9 @@ class UtilityDrivenController:
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
-    def _tx_curves(self) -> list[TransactionalCurve]:
+    def _tx_curves(
+        self, app_nodes: Optional[Mapping[str, frozenset[str]]] = None
+    ) -> list[TransactionalCurve]:
         curves = []
         for app_id in sorted(self._specs):
             spec = self._specs[app_id]
@@ -330,6 +348,14 @@ class UtilityDrivenController:
             load = tracker.get("load") if tracker.has("load") else 0.0
             cycles = tracker.get("service_cycles")
             model = spec.build_perf_model(load, service_cycles=cycles)
+            if self._network is not None and app_nodes is not None:
+                # End-to-end latency: every probe of this curve (arbiter
+                # bisection, utility targets, allocation inversions) now
+                # prices the placement's expected network RTT.
+                delay = self.config.latency_weight * self._network.expected_rtt_s(
+                    app_nodes.get(app_id, frozenset())
+                )
+                model = with_network_delay(model, delay)
             curves.append(
                 TransactionalCurve(
                     model, self._utilities[app_id], self.config.rt_tolerance
@@ -353,10 +379,16 @@ class UtilityDrivenController:
         self,
         app_targets: Mapping[str, Mhz],
         app_nodes: Mapping[str, frozenset[str]],
+        nodes: Sequence[NodeSpec] = (),
     ) -> list[AppRequest]:
+        node_ids = [n.node_id for n in nodes]
         requests = []
         for app_id in sorted(self._specs):
             spec = self._specs[app_id]
+            current = frozenset(app_nodes.get(app_id, frozenset()))
+            preferred: tuple[tuple[str, int], ...] = ()
+            if self._network is not None:
+                preferred = self._network.preferred_nodes(node_ids, current)
             requests.append(
                 AppRequest(
                     app_id=app_id,
@@ -364,7 +396,8 @@ class UtilityDrivenController:
                     instance_memory_mb=spec.instance_memory_mb,
                     min_instances=spec.min_instances,
                     max_instances=spec.max_instances,
-                    current_nodes=frozenset(app_nodes.get(app_id, frozenset())),
+                    current_nodes=current,
+                    preferred_nodes=preferred,
                 )
             )
         return requests

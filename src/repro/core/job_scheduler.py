@@ -144,6 +144,13 @@ class AppRequest:
         Bounds on the instance count.
     current_nodes:
         Nodes hosting an instance entering this cycle.
+    preferred_nodes:
+        Latency-aware candidate ranking for *new* instances: ``(node_id,
+        rank)`` pairs, lower rank = more preferred (see
+        :meth:`repro.netmodel.context.NetworkContext.preferred_nodes`).
+        Ranked nodes are tried before unranked ones; within a rank the
+        solver keeps its free-CPU order.  Empty (the default) leaves the
+        solver's candidate order untouched.
     """
 
     app_id: str
@@ -152,6 +159,9 @@ class AppRequest:
     min_instances: int
     max_instances: int
     current_nodes: frozenset[str]
+    # New fields append after the seed ones so positional construction
+    # of this public frozen dataclass keeps working.
+    preferred_nodes: tuple[tuple[str, int], ...] = ()
 
     def __post_init__(self) -> None:
         if self.target_allocation < 0:
@@ -160,6 +170,8 @@ class AppRequest:
             raise ConfigurationError(f"app {self.app_id}: non-positive memory")
         if self.min_instances < 1 or self.max_instances < self.min_instances:
             raise ConfigurationError(f"app {self.app_id}: bad instance bounds")
+        if any(rank < 0 for _, rank in self.preferred_nodes):
+            raise ConfigurationError(f"app {self.app_id}: negative preference rank")
 
     def instance_vm_id(self, node_id: str) -> str:
         """The stable VM id of this app's instance on ``node_id``."""

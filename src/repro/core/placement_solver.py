@@ -531,6 +531,13 @@ class PlacementSolver:
             candidates = [
                 state.ids[j] for j in order if state.ids[j] not in app.current_nodes
             ]
+            if app.preferred_nodes:
+                # Latency-aware ranking: ranked nodes first (lower rank =
+                # closer to the users), free-CPU order within a rank and
+                # among the unranked tail (stable sort).
+                rank = dict(app.preferred_nodes)
+                unranked = len(rank)
+                candidates.sort(key=lambda nid: rank.get(nid, unranked))
             for node_id in candidates:
                 if remaining <= max(threshold, _MHZ_EPS) or count >= app.max_instances:
                     break

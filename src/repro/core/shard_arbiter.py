@@ -16,9 +16,10 @@ Two pieces live here:
   shard's topology fingerprint and invalidate its warm
   :class:`~repro.core.control_state.ControlState`).  Two planners are
   registered: :class:`RoundRobinShardPlanner` balances node counts, and
-  :class:`ZoneShardPlanner` keeps topology zones (the ``<zone>-NNN``
-  node-id prefix produced by
-  :func:`repro.cluster.topology.cluster_from_classes`) together.
+  :class:`ZoneShardPlanner` keeps topology zones together (the declared
+  :class:`~repro.cluster.topology.NodeClass` zone when known, else the
+  ``<zone>-NNN`` node-id prefix produced by
+  :func:`repro.cluster.topology.cluster_from_classes`).
 
 * **Cross-shard CPU arbitration** -- :meth:`ShardArbiter.split` reuses
   the :class:`~repro.core.hypothetical.HypotheticalEqualizer` consumed-
@@ -35,7 +36,7 @@ Two pieces live here:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Protocol, Sequence
+from typing import Callable, Mapping, Optional, Protocol, Sequence
 
 from ..errors import ConfigurationError
 from ..perf.jobmodel import JobPopulation
@@ -83,21 +84,28 @@ class RoundRobinShardPlanner:
 
 
 class ZoneShardPlanner:
-    """Keep topology zones together: shard by the node-id zone prefix.
+    """Keep topology zones together: shard by each node's zone.
 
-    The zone key is the node id up to the trailing ``-NNN`` ordinal
-    (``cluster_from_classes`` names nodes ``<class>-<i:03d>``); ids
-    without the pattern (e.g. homogeneous ``node042``) are their own
-    zone.  Zones map to shard indices in discovery order modulo the
-    shard count, so co-zoned nodes always share a shard while zones
-    spread across shards.
+    The zone of a node comes from the declared node -> zone map when one
+    is provided (derived from :class:`~repro.cluster.topology.NodeClass`
+    ``zone`` attributes, see
+    :func:`repro.cluster.topology.zone_map_from_classes`); nodes outside
+    the map fall back to the legacy id-prefix parse -- the node id up to
+    the trailing ``-NNN`` ordinal (``cluster_from_classes`` names nodes
+    ``<class>-<i:03d>``), ids without the pattern (e.g. homogeneous
+    ``node042``) being their own zone.  Zones map to shard indices in
+    discovery order modulo the shard count, so co-zoned nodes always
+    share a shard while zones spread across shards.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, node_zone: Optional[Mapping[str, str]] = None) -> None:
         self._zones: dict[str, int] = {}
+        self._node_zone: dict[str, str] = dict(node_zone or {})
 
-    @staticmethod
-    def zone_of(node_id: str) -> str:
+    def zone_of(self, node_id: str) -> str:
+        zone = self._node_zone.get(node_id)
+        if zone is not None:
+            return zone
         head, sep, tail = node_id.rpartition("-")
         if sep and tail.isdigit():
             return head
@@ -110,10 +118,11 @@ class ZoneShardPlanner:
         return self._zones[zone] % shards
 
 
-#: Registered planner factories (name -> zero-argument constructor).
-_PLANNERS: dict[str, Callable[[], ShardPlanner]] = {
-    "round-robin": RoundRobinShardPlanner,
-    "zone": ZoneShardPlanner,
+#: Registered planner factories (name -> constructor taking the optional
+#: node -> zone map; planners that do not use zones ignore it).
+_PLANNERS: dict[str, Callable[[Optional[Mapping[str, str]]], ShardPlanner]] = {
+    "round-robin": lambda node_zone=None: RoundRobinShardPlanner(),
+    "zone": lambda node_zone=None: ZoneShardPlanner(node_zone),
 }
 
 
@@ -122,8 +131,14 @@ def available_shard_planners() -> list[str]:
     return sorted(_PLANNERS)
 
 
-def make_shard_planner(name: str) -> ShardPlanner:
-    """Construct a registered shard planner by name."""
+def make_shard_planner(
+    name: str, node_zone: Optional[Mapping[str, str]] = None
+) -> ShardPlanner:
+    """Construct a registered shard planner by name.
+
+    ``node_zone`` -- the topology's declared node -> zone map -- is
+    forwarded to zone-aware planners and ignored by the rest.
+    """
     try:
         factory = _PLANNERS[name]
     except KeyError:
@@ -131,7 +146,7 @@ def make_shard_planner(name: str) -> ShardPlanner:
             f"unknown shard planner {name!r} "
             f"(available: {', '.join(available_shard_planners())})"
         ) from None
-    return factory()
+    return factory(node_zone)
 
 
 # ----------------------------------------------------------------------

@@ -53,6 +53,7 @@ from ..cluster.placement import Placement
 from ..cluster.vm import VmState
 from ..config import ControllerConfig
 from ..errors import UnknownEntityError
+from ..netmodel.context import NetworkContext
 from ..perf.jobmodel import snapshot_jobs
 from ..types import Mhz, Seconds
 from ..utility.base import UtilityFunction
@@ -169,7 +170,12 @@ class ShardedController:
 
     Parameters mirror :class:`~repro.core.controller.UtilityDrivenController`;
     the shard count, worker-pool size and planner come from ``config``
-    (``shards`` / ``shard_workers`` / ``shard_planner``).
+    (``shards`` / ``shard_workers`` / ``shard_planner``).  The optional
+    ``network`` context is handed to every sub-controller (it pickles
+    with them across the worker pool) and to the zone shard planner,
+    which then groups by declared :class:`~repro.cluster.topology.NodeClass`
+    zones instead of the id-prefix parse; ``node_zone`` alone provides
+    that map for zoned topologies without a ``[network]`` block.
     """
 
     def __init__(
@@ -177,14 +183,22 @@ class ShardedController:
         app_specs: Sequence[TransactionalAppSpec],
         config: Optional[ControllerConfig] = None,
         tx_utility_shape: Optional[UtilityFunction] = None,
+        network: Optional[NetworkContext] = None,
+        node_zone: Optional[Mapping[str, str]] = None,
     ) -> None:
         self.config = config or ControllerConfig()
         self._app_ids = {spec.app_id for spec in app_specs}
         self._controllers = [
-            UtilityDrivenController(app_specs, self.config, tx_utility_shape)
+            UtilityDrivenController(
+                app_specs, self.config, tx_utility_shape, network=network
+            )
             for _ in range(self.config.shards)
         ]
-        self._planner = make_shard_planner(self.config.shard_planner)
+        if node_zone is None and network is not None:
+            node_zone = network.node_zone
+        self._planner = make_shard_planner(
+            self.config.shard_planner, node_zone=node_zone
+        )
         self._arbiter = ShardArbiter()
         #: Sticky node -> shard assignment (never reshuffled; see module doc).
         self._node_shard: dict[str, int] = {}

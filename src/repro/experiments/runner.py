@@ -46,6 +46,7 @@ from ..core.hypothetical import (
     mean_hypothetical_utility,
 )
 from ..errors import SimulationError
+from ..netmodel.context import NetworkContext
 from ..perf.jobmodel import snapshot_jobs
 from ..sim.engine import ORDER_COMPLETION, ORDER_CONTROL, ORDER_DEFAULT, Simulator
 from ..sim.events import Event
@@ -99,12 +100,25 @@ def default_policy_factory(scenario: Scenario) -> PlacementPolicy:
 
     ``ControllerConfig.shards > 1`` selects the sharded hierarchical
     control plane (:class:`repro.core.sharded.ShardedController`); the
-    monolithic controller otherwise.
+    monolithic controller otherwise.  A scenario with a network topology
+    hands the controller a :class:`~repro.netmodel.context.NetworkContext`
+    (the latency-aware objective only engages when
+    ``controller.latency_weight > 0``).
     """
     specs = [workload.spec for workload in scenario.apps]
+    network = (
+        NetworkContext(scenario.network, scenario.node_zone_map())
+        if scenario.network is not None
+        else None
+    )
     if scenario.controller.shards > 1:
-        return ShardedController(specs, scenario.controller)
-    return UtilityDrivenController(specs, scenario.controller)
+        return ShardedController(
+            specs,
+            scenario.controller,
+            network=network,
+            node_zone=scenario.node_zone_map() or None,
+        )
+    return UtilityDrivenController(specs, scenario.controller, network=network)
 
 
 @dataclass
@@ -170,6 +184,14 @@ class ExperimentResult:
         time from the failure instant until the minimum of the two
         workload utilities re-attains its pre-failure level (NaN when no
         failure occurred or none recovered within the horizon).
+
+        Network telemetry (scenarios declaring a zone topology only; NaN
+        otherwise): ``rt_network_mean`` is the time-averaged mean
+        expected network RTT (s) across apps, ``in_zone_fraction`` the
+        time-averaged user mass served from its own zone, and
+        ``latency_sla_attainment`` the time-averaged fraction of apps
+        whose end-to-end (queueing + network) response time met the
+        response-time goal.
         """
         rec = self.recorder
         horizon = self.scenario.horizon
@@ -212,6 +234,21 @@ class ExperimentResult:
                 else 0.0
             ),
             "time_to_recover_mean": _mean_time_to_recover(rec),
+            "rt_network_mean": (
+                rec.series("rt_network_mean").time_average(0.0, horizon)
+                if rec.has_series("rt_network_mean")
+                else math.nan
+            ),
+            "in_zone_fraction": (
+                rec.series("in_zone_fraction").time_average(0.0, horizon)
+                if rec.has_series("in_zone_fraction")
+                else math.nan
+            ),
+            "latency_sla_attainment": (
+                rec.series("latency_sla_attainment").time_average(0.0, horizon)
+                if rec.has_series("latency_sla_attainment")
+                else math.nan
+            ),
         }
 
     def to_dict(self) -> dict[str, object]:
@@ -371,6 +408,14 @@ class ExperimentRunner:
         self._action_log = ActionLog()
         self._cycles = 0
         self._measure_rng = self._rngs.stream("measurement-noise")
+        # Network telemetry is recorded whenever the scenario declares a
+        # topology -- independent of ``latency_weight``, so a latency-
+        # blind baseline run still reports locality and attainment.
+        self._network_ctx = (
+            NetworkContext(scenario.network, scenario.node_zone_map())
+            if scenario.network is not None
+            else None
+        )
 
     # ------------------------------------------------------------------
     # Public API
@@ -650,6 +695,9 @@ class ExperimentRunner:
         tx_alloc_total = 0.0
         tx_demand_total = 0.0
         tx_utils: list[float] = []
+        net_rts: list[float] = []
+        in_zone_fracs: list[float] = []
+        latency_attained = 0
         for app_id in sorted(self._apps):
             app = self._apps[app_id]
             true_load = app.arrival_rate(t)
@@ -665,9 +713,29 @@ class ExperimentRunner:
             rec.record(f"tx_rt:{app_id}", t, rt)
             rec.record(f"tx_utility:{app_id}", t, utility)
             rec.record(f"tx_allocation:{app_id}", t, alloc)
+            if self._network_ctx is not None:
+                # ``tx_rt`` stays queueing-only by contract; the network
+                # leg is a *new* series, composed into ``rt_total``.
+                net_rt = self._network_ctx.expected_rtt_s(app.instance_nodes)
+                net_rts.append(net_rt)
+                in_zone_fracs.append(
+                    self._network_ctx.in_zone_fraction(app.instance_nodes)
+                )
+                if rt + net_rt <= app.spec.rt_goal:
+                    latency_attained += 1
+                rec.record(f"rt_network:{app_id}", t, net_rt)
+                rec.record(f"rt_total:{app_id}", t, rt + net_rt)
         rec.record("tx_allocation", t, tx_alloc_total)
         rec.record("tx_demand", t, tx_demand_total)
         rec.record("tx_utility", t, min(tx_utils) if tx_utils else math.nan)
+        if self._network_ctx is not None and net_rts:
+            rec.record("rt_network_mean", t, sum(net_rts) / len(net_rts))
+            rec.record(
+                "in_zone_fraction", t, sum(in_zone_fracs) / len(in_zone_fracs)
+            )
+            rec.record(
+                "latency_sla_attainment", t, latency_attained / len(net_rts)
+            )
 
         diag = decision.diagnostics
         rec.record("tx_target", t, diag.tx_target)

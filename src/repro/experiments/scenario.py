@@ -27,9 +27,15 @@ from typing import Optional, Sequence
 
 from ..cluster.actions import ActionCosts
 from ..cluster.cluster import Cluster
-from ..cluster.topology import NodeClass, cluster_from_classes, homogeneous_cluster
+from ..cluster.topology import (
+    NodeClass,
+    cluster_from_classes,
+    homogeneous_cluster,
+    zone_map_from_classes,
+)
 from ..config import ControllerConfig, NoiseConfig
 from ..errors import ConfigurationError
+from ..netmodel.topology import ZoneTopology
 from ..sim.rng import RngRegistry
 from ..types import Seconds
 from ..workloads.jobs import JobSpec
@@ -105,6 +111,10 @@ class Scenario:
     #: Scheduled capacity brownouts (typically compiled from a
     #: :class:`repro.faults.FaultPlanSpec` by ``ScenarioSpec.materialize``).
     brownouts: tuple[NodeBrownout, ...] = field(default_factory=tuple)
+    #: Optional network model (the spec's ``[network]`` block): zone RTTs
+    #: and user populations.  ``None`` means the scenario is latency-blind
+    #: and behaves exactly as before the network subsystem existed.
+    network: Optional[ZoneTopology] = None
 
     def __post_init__(self) -> None:
         if self.num_nodes < 1:
@@ -117,6 +127,20 @@ class Scenario:
                 raise ConfigurationError(
                     f"node_classes count {total} != num_nodes {self.num_nodes}"
                 )
+        if self.network is not None:
+            if not self.node_classes:
+                raise ConfigurationError(
+                    "a network topology requires a cluster built from node "
+                    "classes (zones)"
+                )
+            for cls in self.node_classes:
+                zone = cls.zone or cls.name
+                if zone not in self.network.zones:
+                    raise ConfigurationError(
+                        f"node class {cls.name!r} is in zone {zone!r}, which "
+                        f"the network topology does not declare "
+                        f"(declared: {', '.join(self.network.zones)})"
+                    )
 
     def build_cluster(self) -> Cluster:
         """Materialize the cluster topology."""
@@ -140,6 +164,12 @@ class Scenario:
         if self.node_classes:
             return sum(cls.cpu_capacity for cls in self.node_classes)
         return self.num_nodes * self.node_processors * self.node_mhz
+
+    def node_zone_map(self) -> dict[str, str]:
+        """Node-id -> zone map of the topology (empty when homogeneous)."""
+        if not self.node_classes:
+            return {}
+        return zone_map_from_classes(self.node_classes)
 
     def with_controller(self, controller: ControllerConfig) -> "Scenario":
         """Copy of the scenario with a different controller configuration."""

@@ -12,7 +12,7 @@ scheduled events.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Union
 
 from ..errors import ConfigurationError
 from ..types import Seconds
@@ -47,19 +47,48 @@ class CrashFaultSpec:
 class ZoneOutageSpec:
     """Correlated outages taking down a whole zone at once.
 
-    The cluster's nodes are split (in registration order) into ``zones``
-    contiguous zones; each zone has its own outage renewal process and an
+    ``zones`` selects the zones in one of two forms:
+
+    * an **int** ``k`` -- the cluster's nodes are split (in registration
+      order) into ``k`` contiguous synthetic zones, the original
+      topology-agnostic behavior;
+    * a **list of zone names** -- each named zone of the topology (the
+      :class:`~repro.cluster.topology.NodeClass` ``zone``, defaulting to
+      the class name) is one outage group.  Names are validated against
+      the topology at materialize time, so a typo fails loudly instead
+      of compiling to a silent no-op outage.
+
+    Either way each zone has its own outage renewal process and an
     outage fails every node of the zone simultaneously.
     """
 
-    zones: int
+    zones: Union[int, tuple[str, ...]]
     mtbf: Seconds
     mttr: Seconds
     start: Seconds = 0.0
 
     def __post_init__(self) -> None:
-        if self.zones < 1:
-            raise ConfigurationError("zones must be >= 1")
+        if isinstance(self.zones, bool):
+            raise ConfigurationError("zones must be an int or zone names")
+        if isinstance(self.zones, int):
+            if self.zones < 1:
+                raise ConfigurationError("zones must be >= 1")
+        elif isinstance(self.zones, (list, tuple)):
+            names = tuple(self.zones)
+            if not names:
+                raise ConfigurationError("zones name list must be non-empty")
+            if any(not isinstance(z, str) or not z for z in names):
+                raise ConfigurationError(
+                    f"zone names must be non-empty strings: {names}"
+                )
+            if len(set(names)) != len(names):
+                raise ConfigurationError(f"duplicate zone names in {names}")
+            object.__setattr__(self, "zones", names)
+        else:
+            raise ConfigurationError(
+                f"zones must be an int or a list of zone names, "
+                f"got {self.zones!r}"
+            )
         _require_positive("mtbf", self.mtbf)
         _require_positive("mttr", self.mttr)
         if self.start < 0:

@@ -138,6 +138,30 @@ def _zone_partition(node_ids: Sequence[str], zones: int) -> list[list[str]]:
     return partition
 
 
+def _named_zone_partition(
+    node_ids: Sequence[str],
+    zone_names: Sequence[str],
+    node_zone_of: Mapping[str, str],
+) -> list[list[str]]:
+    """One group per named topology zone, nodes in registration order.
+
+    Every name must match at least one node's zone: a typo'd zone name
+    used to compile to a silent no-op outage, now it fails loudly with
+    the zones that do exist.
+    """
+    partition: list[list[str]] = []
+    for name in zone_names:
+        members = [nid for nid in node_ids if node_zone_of.get(nid) == name]
+        if not members:
+            known = sorted(set(node_zone_of.values()))
+            raise ConfigurationError(
+                f"zone {name!r} matches no node in the topology "
+                f"(zones present: {', '.join(known) if known else 'none'})"
+            )
+        partition.append(members)
+    return partition
+
+
 def compile_faults(
     plan: FaultPlanSpec,
     *,
@@ -146,6 +170,7 @@ def compile_faults(
     rng: np.random.Generator,
     horizon: float,
     existing_failures: Sequence[NodeFailure] = (),
+    node_zone_of: Mapping[str, str] | None = None,
 ) -> CompiledFaults:
     """Expand ``plan`` into scheduled failure and brownout events.
 
@@ -157,6 +182,12 @@ def compile_faults(
     node_class_of:
         Node id -> :class:`~repro.cluster.topology.NodeClass` name; empty
         for homogeneous topologies.
+    node_zone_of:
+        Node id -> network-zone name (see
+        :func:`repro.cluster.topology.zone_map_from_classes`); consulted
+        only by zone-outage specs that select zones *by name*.  ``None``
+        or empty means the topology declares no zones, so named
+        selections fail validation.
     rng:
         Seeded generator owning the fault realization; the caller passes
         ``RngRegistry(seed).stream(plan.stream)``.
@@ -202,7 +233,12 @@ def compile_faults(
 
     for i, zone_spec in enumerate(plan.zone_outages):
         try:
-            partition = _zone_partition(node_ids, zone_spec.zones)
+            if isinstance(zone_spec.zones, int):
+                partition = _zone_partition(node_ids, zone_spec.zones)
+            else:
+                partition = _named_zone_partition(
+                    node_ids, zone_spec.zones, node_zone_of or {}
+                )
         except ConfigurationError as exc:
             raise ConfigurationError(f"faults.zone_outages[{i}]: {exc}") from None
         for zone in partition:

@@ -1,0 +1,82 @@
+"""The network context handed to the placement controller.
+
+Bundles the :class:`~repro.netmodel.topology.ZoneTopology` with the
+node-id -> zone map of the materialized cluster, and answers the two
+questions the control loop asks each cycle: *what is the expected
+network RTT of this app's current placement* (folded into the perf
+model, see :func:`repro.perf.estimator.with_network_delay`) and *which
+nodes should new instances prefer* (turned into the solver's
+preferred-node ranking).
+
+Plain dict + frozen dataclass so the context pickles with the sharded
+controller's pool workers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from ..errors import ConfigurationError
+from .topology import ZoneTopology
+
+__all__ = ["NetworkContext"]
+
+
+@dataclass(frozen=True)
+class NetworkContext:
+    """A zone topology bound to a concrete cluster's node-zone map."""
+
+    topology: ZoneTopology
+    node_zone: Mapping[str, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        node_zone = dict(self.node_zone)
+        object.__setattr__(self, "node_zone", node_zone)
+        for node_id, zone in node_zone.items():
+            if zone not in self.topology.zones:
+                raise ConfigurationError(
+                    f"node {node_id!r} is in zone {zone!r}, which the "
+                    f"network topology does not declare "
+                    f"(declared: {', '.join(self.topology.zones)})"
+                )
+
+    def serving_zones(self, nodes: Iterable[str]) -> tuple[str, ...]:
+        """Sorted unique zones of the given node ids."""
+        zones = {self.node_zone[n] for n in nodes if n in self.node_zone}
+        return tuple(sorted(zones))
+
+    def expected_rtt_s(self, nodes: Iterable[str]) -> float:
+        """Expected network RTT (s) of serving from the given nodes."""
+        return self.topology.expected_rtt_s(self.serving_zones(nodes))
+
+    def in_zone_fraction(self, nodes: Iterable[str]) -> float:
+        """User mass served from its own zone by the given nodes."""
+        return self.topology.in_zone_fraction(self.serving_zones(nodes))
+
+    def preferred_nodes(
+        self, nodes: Iterable[str], current_nodes: Iterable[str]
+    ) -> tuple[tuple[str, int], ...]:
+        """Latency rank per candidate node: ``(node_id, rank)`` pairs.
+
+        Zones are ranked by the marginal expected-RTT reduction an
+        instance there would buy over the app's *current* serving set
+        (ties broken by zone name for determinism); only zones with a
+        strictly positive gain appear -- everything else is left to the
+        solver's free-CPU ordering.  Lower rank = more preferred.
+        """
+        gains = self.topology.placement_gain_ms(
+            self.serving_zones(current_nodes)
+        )
+        ranked = [
+            zone
+            for zone, gain in sorted(gains.items(), key=lambda kv: (-kv[1], kv[0]))
+            if gain > 1e-9
+        ]
+        rank_of = {zone: rank for rank, zone in enumerate(ranked)}
+        pairs = []
+        for node_id in sorted(set(nodes)):
+            zone = self.node_zone.get(node_id)
+            if zone in rank_of:
+                pairs.append((node_id, rank_of[zone]))
+        return tuple(pairs)

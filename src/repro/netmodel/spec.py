@@ -1,0 +1,84 @@
+"""The ``[network]`` block of a scenario spec.
+
+Pure-data counterpart of :class:`~repro.netmodel.topology.ZoneTopology`,
+following the :class:`~repro.faults.models.FaultPlanSpec` convention:
+the fragment lives with its domain, validates itself at construction,
+and :mod:`repro.api.spec` only handles dict/TOML (de)serialization.
+
+A spec declares the zones (with their user populations) and the RTT
+matrix in zone-declaration order::
+
+    [network]
+    rtt_ms = [[0.0, 20.0], [20.0, 0.0]]
+
+    [[network.zones]]
+    name = "edge"
+    users = 70.0
+
+    [[network.zones]]
+    name = "cloud"
+    users = 30.0
+
+The block is schema-additive: ``repro.scenario/v1`` specs without it
+behave exactly as before.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+from .topology import ZoneTopology
+
+__all__ = ["NetworkSpec", "ZoneSpec"]
+
+
+@dataclass(frozen=True)
+class ZoneSpec:
+    """One declared zone: its name and user population."""
+
+    name: str
+    users: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.name or not isinstance(self.name, str):
+            raise ConfigurationError("zone name must be a non-empty string")
+        if not math.isfinite(self.users) or self.users < 0:
+            raise ConfigurationError(
+                f"zone {self.name!r}: users must be finite and non-negative"
+            )
+
+
+@dataclass(frozen=True)
+class NetworkSpec:
+    """The ``network`` block: declared zones plus the inter-zone RTTs.
+
+    Cross-field consistency (matrix shape, symmetry, zero diagonal, at
+    least one populated zone) is delegated to :class:`ZoneTopology`,
+    built eagerly so a bad spec fails at construction rather than at
+    materialize time.
+    """
+
+    zones: tuple[ZoneSpec, ...]
+    rtt_ms: tuple[tuple[float, ...], ...]
+
+    def __post_init__(self) -> None:
+        zones = tuple(self.zones)
+        rtt = tuple(tuple(float(v) for v in row) for row in self.rtt_ms)
+        object.__setattr__(self, "zones", zones)
+        object.__setattr__(self, "rtt_ms", rtt)
+        if not zones:
+            raise ConfigurationError("network.zones must be non-empty")
+        self.build()  # validate eagerly; cheap and pure
+
+    def zone_names(self) -> tuple[str, ...]:
+        return tuple(z.name for z in self.zones)
+
+    def build(self) -> ZoneTopology:
+        """The validated runtime topology this spec describes."""
+        return ZoneTopology(
+            zones=self.zone_names(),
+            rtt_ms=self.rtt_ms,
+            users=tuple(z.users for z in self.zones),
+        )

@@ -5,13 +5,42 @@ noisy per-cycle measurements (throughput, mean response time, per-request
 CPU consumption) and smooths them.  This module provides the smoothing
 primitives plus a composite tracker used by the controller to maintain a
 calibrated transactional performance model.
+
+It is also where the calibrated model is composed with the network
+model: :func:`with_network_delay` lifts a queueing-only
+:class:`~repro.perf.queueing.TransactionalPerfModel` to an end-to-end
+one, so SLA attainment and utility evaluation see total latency rather
+than queueing delay alone.
 """
 
 from __future__ import annotations
 
-from typing import Mapping, Optional
+from typing import TYPE_CHECKING, Mapping, Optional
 
 from ..errors import ConfigurationError, EstimationError
+from ..types import Seconds
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .queueing import TransactionalPerfModel
+
+
+def with_network_delay(
+    model: "TransactionalPerfModel", delay: Seconds
+) -> "TransactionalPerfModel":
+    """Shift ``model`` by a fixed network delay (seconds).
+
+    A zero delay returns the model unchanged -- callers on the hot path
+    can compose unconditionally without paying a wrapper per cycle.
+    Positive delays wrap the model in
+    :class:`repro.netmodel.model.NetworkAwareModel` (imported lazily to
+    keep ``repro.perf`` importable without the network subsystem in the
+    dependency path).
+    """
+    if delay == 0:
+        return model
+    from ..netmodel.model import NetworkAwareModel
+
+    return NetworkAwareModel(inner=model, network_delay=delay)
 
 
 class EwmaEstimator:

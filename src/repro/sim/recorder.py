@@ -75,6 +75,25 @@ Fault injection and graceful degradation (PR 7) additionally record:
   ``decide_budget_ms`` (wall-clock, hence nondeterministic -- like the
   ``stage_ms:*`` series).
 
+Network-model runs (scenarios declaring a ``[network]`` zone topology,
+see :mod:`repro.netmodel`) additionally record, per control cycle:
+
+* ``rt_network:<app>`` series -- the app's demand-weighted expected
+  network RTT (seconds) given its current serving zones; the existing
+  ``tx_rt:<app>`` series stays *queueing-only* by contract, so the
+  network leg is always a separate, new series;
+* ``rt_total:<app>`` series -- end-to-end response time, the noisy
+  queueing ``tx_rt:<app>`` sample plus ``rt_network:<app>``;
+* ``rt_network_mean`` series -- mean of ``rt_network:<app>`` across
+  apps;
+* ``in_zone_fraction`` series -- user mass currently served from its
+  own zone (mean across apps);
+* ``latency_sla_attainment`` series -- fraction of apps whose
+  end-to-end response time met their rt goal this cycle.
+
+Latency-blind scenarios record none of these (absent series, not NaN
+samples), keeping their exports byte-identical to pre-network runs.
+
 These are ordinary series/counters -- schema consumers that predate them
 simply see extra names, which is the recorder's documented forward-
 compatible evolution path (new names may appear; existing names keep

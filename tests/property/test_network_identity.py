@@ -1,0 +1,138 @@
+"""Zero-latency byte-identity: the network model is strictly additive.
+
+The ``[network]`` block and the ``latency_weight`` knob must never
+perturb an existing experiment.  For any scenario, running with
+``latency_weight=0`` and running with the network block stripped
+entirely must serialize to byte-identical ``repro.result/v1`` JSON once
+exactly two documented deltas are removed:
+
+* the network-only recorder series (``rt_network:<app>``,
+  ``rt_total:<app>``, ``rt_network_mean``, ``in_zone_fraction``,
+  ``latency_sla_attainment``) -- recorded whenever a network block is
+  present, even at weight 0, so the latency-blind CI baseline still
+  reports ``in_zone_fraction``;
+* the matching summary keys, which are ``NaN``/absent without a
+  network block.
+
+Everything else -- placement decisions, job schedules, RNG draws,
+``tx_rt:*`` queueing series -- must not move by a single byte.  The
+identity is exercised across seeds, with a sharded control plane
+(``shards=4``), and with injected named-zone faults (the fault
+realization depends only on the class topology, not the network block).
+"""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.api import Experiment, scenario_spec
+
+#: Four control cycles: long enough for placement, arbitration, job
+#: scheduling and (on the failover scenario) at least one zone outage.
+HORIZON = 2400.0
+
+NETWORK_SERIES_PREFIXES = ("rt_network:", "rt_total:")
+NETWORK_SERIES = ("rt_network_mean", "in_zone_fraction", "latency_sla_attainment")
+NETWORK_SUMMARY_KEYS = NETWORK_SERIES
+
+WALL_TIME_PREFIXES = ("stage_ms:", "shard_ms:")
+
+
+def _run(spec):
+    result = Experiment.from_spec(spec).run()
+    return json.loads(result.to_json())
+
+
+def _scrub(data) -> str:
+    data["summary"].pop("decide_ms_mean", None)
+    for key in NETWORK_SUMMARY_KEYS:
+        data["summary"].pop(key, None)
+    series = data["recorder"]["series"]
+    for name in list(series):
+        if (
+            name.startswith(WALL_TIME_PREFIXES)
+            or name.startswith(NETWORK_SERIES_PREFIXES)
+            or name in NETWORK_SERIES
+        ):
+            del series[name]
+    return json.dumps(data, sort_keys=True)
+
+
+def _identity_pair(name: str, seed: int, extra=None):
+    """(weight-0 run, network-stripped run) raw result payloads."""
+    overrides = {
+        "horizon": HORIZON,
+        "seed": seed,
+        "controller.latency_weight": 0.0,
+    }
+    overrides.update(extra or {})
+    weightless = scenario_spec(name).with_overrides(overrides)
+    assert weightless.network is not None
+    stripped = dataclasses.replace(weightless, network=None)
+    return _run(weightless), _run(stripped)
+
+
+def _assert_identity(name: str, seed: int, extra=None):
+    with_net, without_net = _identity_pair(name, seed, extra)
+
+    # The scrub has teeth: the weight-0 run really records the network
+    # series, and the stripped run records none of them (absent, not NaN).
+    net_series = with_net["recorder"]["series"]
+    bare_series = without_net["recorder"]["series"]
+    assert any(n.startswith("rt_network:") for n in net_series)
+    assert all(
+        not n.startswith(NETWORK_SERIES_PREFIXES) and n not in NETWORK_SERIES
+        for n in bare_series
+    )
+    assert with_net["summary"]["in_zone_fraction"] is not None
+    assert without_net["summary"]["in_zone_fraction"] is None
+
+    assert _scrub(with_net) == _scrub(without_net), (
+        f"latency_weight=0 run of {name!r} (seed {seed}) diverged from the "
+        "network-stripped run"
+    )
+
+
+@pytest.mark.parametrize("seed", [19, 20, 21])
+def test_weight_zero_is_byte_identical(seed):
+    _assert_identity("edge-cloud-continuum", seed)
+
+
+def test_identity_holds_under_sharding():
+    _assert_identity(
+        "edge-cloud-continuum",
+        19,
+        {"controller.shards": 4, "controller.shard_workers": 1},
+    )
+
+
+@pytest.mark.parametrize("seed", [29, 30])
+def test_identity_holds_with_zone_faults(seed):
+    # cross-zone-failover injects named-zone outages; the realization
+    # depends only on the class topology, so both runs see identical
+    # failure schedules.
+    _assert_identity("cross-zone-failover", seed)
+
+
+def test_absent_weight_defaults_to_zero():
+    spec = scenario_spec("edge-cloud-continuum")
+    base = spec.with_overrides({"horizon": HORIZON})
+    assert spec.controller.latency_weight == 1.0  # scenario opts in
+    zeroed = base.with_overrides({"controller.latency_weight": 0.0})
+    default = dataclasses.replace(
+        base,
+        controller=dataclasses.replace(base.controller, latency_weight=0.0),
+    )
+    assert zeroed == default
+
+
+def test_positive_weight_changes_placement():
+    """Sanity check that the knob is live: weight 1 visits edge zones."""
+    aware = scenario_spec("edge-cloud-continuum").with_overrides(
+        {"horizon": HORIZON}
+    )
+    blind = aware.with_overrides({"controller.latency_weight": 0.0})
+    aware_frac = _run(aware)["summary"]["in_zone_fraction"]
+    blind_frac = _run(blind)["summary"]["in_zone_fraction"]
+    assert aware_frac > blind_frac

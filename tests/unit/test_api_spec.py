@@ -317,3 +317,52 @@ class TestAppSpecValidation:
                 request_cap_mhz=1000.0, instance_memory_mb=100.0,
                 profile=ConstantProfileSpec(10.0),
             )
+
+
+class TestNetworkBlock:
+    def test_network_round_trips_dict_json_toml(self, tmp_path):
+        spec = scenario_spec("edge-cloud-continuum")
+        assert spec.network is not None
+        assert ScenarioSpec.from_dict(spec.to_dict()) == spec
+        assert ScenarioSpec.from_json(spec.to_json()) == spec
+        path = tmp_path / "edge.toml"
+        spec.save(path)
+        assert ScenarioSpec.load(path) == spec
+
+    def test_network_materializes_into_scenario(self):
+        scenario = scenario_spec("edge-cloud-continuum").materialize()
+        assert scenario.network is not None
+        assert scenario.network.zones == ("edge", "metro", "cloud")
+        assert scenario.node_zone_map()["edge-000"] == "edge"
+
+    def test_network_requires_class_based_topology(self):
+        data = scenario_spec("edge-cloud-continuum").to_dict()
+        data["topology"] = {"num_nodes": 4, "processors": 2,
+                            "mhz_per_processor": 2000.0, "memory_mb": 2000.0}
+        with pytest.raises(SpecValidationError, match="class-based topology"):
+            ScenarioSpec.from_dict(data)
+
+    def test_undeclared_class_zone_rejected_with_path(self):
+        data = scenario_spec("edge-cloud-continuum").to_dict()
+        data["topology"]["classes"][0]["zone"] = "orbit"
+        with pytest.raises(
+            SpecValidationError, match=r"topology\.classes\[0\].*orbit"
+        ):
+            ScenarioSpec.from_dict(data)
+
+    def test_unknown_network_field_rejected_by_name(self):
+        data = scenario_spec("edge-cloud-continuum").to_dict()
+        data["network"]["jitter"] = 1.0
+        with pytest.raises(SpecValidationError, match="jitter"):
+            ScenarioSpec.from_dict(data)
+
+    def test_invalid_matrix_names_network_path(self):
+        data = scenario_spec("edge-cloud-continuum").to_dict()
+        data["network"]["rtt_ms"][0][1] = -5.0
+        with pytest.raises(SpecValidationError, match="network"):
+            ScenarioSpec.from_dict(data)
+
+    def test_no_network_block_omitted_from_dict(self):
+        data = scenario_spec("smoke").to_dict()
+        assert "network" not in data
+        assert scenario_spec("smoke").network is None

@@ -82,3 +82,32 @@ class TestNodeClasses:
 
         cls = NodeClass("m", 3, 4, 3000.0, 4000.0)
         assert cls.cpu_capacity == pytest.approx(36_000.0)
+
+
+class TestZones:
+    def test_zone_map_uses_explicit_zone_then_class_name(self):
+        from repro.cluster import NodeClass
+        from repro.cluster.topology import zone_map_from_classes
+
+        classes = [
+            NodeClass("rack-a", 2, 4, 3000.0, 4000.0, zone="edge"),
+            NodeClass("cloud", 1, 4, 3000.0, 4000.0),
+        ]
+        assert zone_map_from_classes(classes) == {
+            "rack-a-000": "edge",
+            "rack-a-001": "edge",
+            "cloud-000": "cloud",
+        }
+
+    def test_zone_survives_class_round_trip(self):
+        from repro.cluster import NodeClass
+
+        cls = NodeClass("rack-a", 2, 4, 3000.0, 4000.0, zone="edge")
+        assert cls.zone == "edge"
+        assert NodeClass("rack-a", 2, 4, 3000.0, 4000.0).zone is None
+
+    def test_empty_zone_rejected(self):
+        from repro.cluster import NodeClass
+
+        with pytest.raises(ConfigurationError, match="zone"):
+            NodeClass("a", 1, 4, 3000.0, 4000.0, zone="")

@@ -262,3 +262,116 @@ class TestChaosPolicy:
     def test_rejects_bad_rate(self):
         with pytest.raises(ConfigurationError):
             ChaosPolicy(self._Inner(), error_rate=1.5)
+
+
+ZONED_NODE_IDS = [
+    "cloud-000",
+    "cloud-001",
+    "metro-000",
+    "edge-000",
+    "edge-001",
+]
+
+ZONED_NODE_ZONES = {
+    "cloud-000": "cloud",
+    "cloud-001": "cloud",
+    "metro-000": "metro",
+    "edge-000": "edge",
+    "edge-001": "edge",
+}
+
+
+class TestNamedZoneOutages:
+    def test_named_outage_hits_only_that_zone(self):
+        plan = FaultPlanSpec(
+            zone_outages=(ZoneOutageSpec(zones=("edge",), mtbf=800.0, mttr=200.0),)
+        )
+        compiled = compile_faults(
+            plan,
+            node_ids=ZONED_NODE_IDS,
+            node_class_of={},
+            rng=_rng(),
+            horizon=20_000.0,
+            node_zone_of=ZONED_NODE_ZONES,
+        )
+        assert compiled.failures
+        hit = {f.node_id for f in compiled.failures}
+        assert hit == {"edge-000", "edge-001"}
+
+    def test_outage_fails_the_whole_zone_simultaneously(self):
+        plan = FaultPlanSpec(
+            zone_outages=(ZoneOutageSpec(zones=("cloud",), mtbf=800.0, mttr=200.0),)
+        )
+        compiled = compile_faults(
+            plan,
+            node_ids=ZONED_NODE_IDS,
+            node_class_of={},
+            rng=_rng(),
+            horizon=20_000.0,
+            node_zone_of=ZONED_NODE_ZONES,
+        )
+        by_start: dict[float, set[str]] = {}
+        for f in compiled.failures:
+            by_start.setdefault(f.at, set()).add(f.node_id)
+        assert by_start
+        for nodes in by_start.values():
+            assert nodes == {"cloud-000", "cloud-001"}
+
+    def test_typoed_zone_name_fails_loudly(self):
+        plan = FaultPlanSpec(
+            zone_outages=(ZoneOutageSpec(zones=("egde",), mtbf=800.0, mttr=200.0),)
+        )
+        with pytest.raises(ConfigurationError, match="egde"):
+            compile_faults(
+                plan,
+                node_ids=ZONED_NODE_IDS,
+                node_class_of={},
+                rng=_rng(),
+                horizon=20_000.0,
+                node_zone_of=ZONED_NODE_ZONES,
+            )
+
+    def test_named_zones_without_topology_map_fail_loudly(self):
+        plan = FaultPlanSpec(
+            zone_outages=(ZoneOutageSpec(zones=("edge",), mtbf=800.0, mttr=200.0),)
+        )
+        with pytest.raises(ConfigurationError, match="edge"):
+            compile_faults(
+                plan,
+                node_ids=NODE_IDS,
+                node_class_of={},
+                rng=_rng(),
+                horizon=20_000.0,
+            )
+
+    def test_int_zone_streams_unchanged_by_zone_map(self):
+        plan = FaultPlanSpec(
+            zone_outages=(ZoneOutageSpec(zones=2, mtbf=400.0, mttr=120.0),)
+        )
+        kwargs = dict(node_ids=NODE_IDS, node_class_of={}, horizon=20_000.0)
+        without = compile_faults(plan, rng=_rng(), **kwargs)
+        with_map = compile_faults(
+            plan, rng=_rng(), node_zone_of=ZONED_NODE_ZONES, **kwargs
+        )
+        assert without == with_map
+
+    def test_zone_name_spec_validation(self):
+        with pytest.raises(ConfigurationError):
+            ZoneOutageSpec(zones=(), mtbf=100.0, mttr=10.0)
+        with pytest.raises(ConfigurationError):
+            ZoneOutageSpec(zones=("a", "a"), mtbf=100.0, mttr=10.0)
+        with pytest.raises(ConfigurationError):
+            ZoneOutageSpec(zones=True, mtbf=100.0, mttr=10.0)
+        spec = ZoneOutageSpec(zones=["edge"], mtbf=100.0, mttr=10.0)
+        assert spec.zones == ("edge",)
+
+    def test_spec_level_typo_fails_at_materialize(self):
+        spec = scenario_spec("cross-zone-failover")
+        bad = spec.with_overrides({"faults.zone_outages.0.zones": ["nope"]})
+        with pytest.raises((SpecValidationError, ConfigurationError), match="nope"):
+            bad.materialize()
+
+    def test_cross_zone_failover_round_trips(self):
+        spec = scenario_spec("cross-zone-failover")
+        assert ScenarioSpec.from_dict(spec.to_dict()) == spec
+        assert ScenarioSpec.from_json(spec.to_json()) == spec
