@@ -90,6 +90,8 @@ def _base_overrides(args: argparse.Namespace) -> dict[str, object]:
         overrides.setdefault("controller.shards", args.shards)
     if getattr(args, "no_resilient", False):
         overrides.setdefault("controller.resilient", False)
+    if getattr(args, "exact_oracle", None) is not None:
+        overrides.setdefault("controller.exact_oracle", args.exact_oracle)
     return overrides
 
 
@@ -255,6 +257,12 @@ def _add_spec_arguments(
         "--shards", type=int, default=None, metavar="K",
         help="partition the cluster into K shards (sharded control "
              "plane; shorthand for --set controller.shards=K)",
+    )
+    parser.add_argument(
+        "--exact-oracle", default=None, metavar="BACKEND",
+        help="record optimality-gap telemetry against an exact backend "
+             "(milp or cpsat; shorthand for "
+             "--set controller.exact_oracle=BACKEND)",
     )
     parser.add_argument(
         "--no-resilient", action="store_true",

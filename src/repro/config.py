@@ -206,6 +206,21 @@ class ControllerConfig:
         ``[network]`` topology.  ``1`` prices network latency at face
         value against the response-time goal; intermediate values
         discount it.
+    exact_oracle:
+        Name of a registered solver backend (``"milp"`` | ``"cpsat"``)
+        to run as a *background optimality oracle*: after the production
+        solver decides a cycle, the oracle re-solves the same instance
+        exactly (with ``min_job_rate=0`` and no change penalty, the
+        differential-harness relaxation) and the relative shortfall is
+        reported as the ``optimality_gap`` diagnostic, with the oracle's
+        wall-time as ``exact_ms``.  The oracle runs off the critical
+        path -- its answer never changes the decision, and an oracle
+        failure only suppresses that cycle's gap sample.  ``None`` (the
+        default) disables the telemetry entirely.
+    exact_oracle_every:
+        Run the oracle every N-th control cycle (>= 1).  Exact solves
+        are exponentially harder than the greedy heuristic, so sparse
+        sampling keeps long runs tractable.
     """
 
     control_cycle: Seconds = 600.0
@@ -228,6 +243,8 @@ class ControllerConfig:
     decide_budget_strict: bool = False
     max_consecutive_degraded: Optional[int] = None
     latency_weight: float = 0.0
+    exact_oracle: Optional[str] = None
+    exact_oracle_every: int = 1
 
     def __post_init__(self) -> None:
         if self.control_cycle <= 0:
@@ -264,6 +281,16 @@ class ControllerConfig:
         if not math.isfinite(self.latency_weight) or self.latency_weight < 0:
             raise ConfigurationError(
                 "latency_weight must be finite and non-negative"
+            )
+        if self.exact_oracle is not None and (
+            not isinstance(self.exact_oracle, str) or not self.exact_oracle
+        ):
+            raise ConfigurationError(
+                "exact_oracle must be a backend name or None"
+            )
+        if not isinstance(self.exact_oracle_every, int) or self.exact_oracle_every < 1:
+            raise ConfigurationError(
+                "exact_oracle_every must be a positive integer"
             )
 
 

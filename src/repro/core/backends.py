@@ -93,5 +93,18 @@ def make_solver(config: SolverConfig | None = None) -> SolverBackend:
     return get_backend(config.backend)(config)
 
 
+def _cpsat_factory(config: SolverConfig) -> SolverBackend:
+    """Instantiate the CP-SAT backend.
+
+    The import is deferred so the registry (and ``backend="cpsat"`` in
+    specs) exists even without or-tools installed; construction raises
+    :class:`ConfigurationError` with an install hint in that case.
+    """
+    from .cpsat_solver import CpSatPlacementSolver
+
+    return CpSatPlacementSolver(config)
+
+
 register_backend("greedy", PlacementSolver)
 register_backend("milp", MilpPlacementSolver)
+register_backend("cpsat", _cpsat_factory)

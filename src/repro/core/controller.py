@@ -33,6 +33,8 @@ and equalizer cache statistics, which the experiment runner records.
 
 from __future__ import annotations
 
+import dataclasses
+import math
 from dataclasses import dataclass, field
 from time import perf_counter
 from typing import Mapping, Optional, Sequence
@@ -101,6 +103,23 @@ class ControlDiagnostics:
     #: Whether the cycle overran its configured ``decide_budget_ms``
     #: (non-strict budgets only mark; strict budgets degrade).
     deadline_overrun: bool = False
+    #: Background exact-oracle telemetry (the ``exact_oracle`` config
+    #: knob): relative shortfall of this cycle's placement against the
+    #: exact optimum of the same instance, and the oracle's wall-time in
+    #: milliseconds.  NaN when the oracle did not run this cycle.
+    optimality_gap: float = math.nan
+    exact_ms: float = math.nan
+
+
+def _solution_value(solution: PlacementSolution) -> float:
+    """Satisfied demand of a placement (job rates + web grants, MHz).
+
+    The quantity the differential harness compares across backends; the
+    oracle's gap is measured on it, penalty-free.
+    """
+    return sum(solution.job_rates.values()) + sum(
+        solution.app_allocations.values()
+    )
 
 
 @dataclass(frozen=True)
@@ -177,6 +196,8 @@ class UtilityDrivenController:
         }
         self._arbiter = make_arbiter(self.config.arbiter)
         self._solver = self._build_solver()
+        self._oracle = self._build_oracle()
+        self._oracle_cycles = 0
 
     def _build_solver(self):
         """The placement solver this controller runs on.
@@ -187,6 +208,27 @@ class UtilityDrivenController:
         semantics are tied to one specific solver.
         """
         return make_solver(self.config.solver)
+
+    def _build_oracle(self):
+        """The background optimality oracle, or None when disabled.
+
+        Built eagerly so a bad backend name (or a missing optional
+        dependency, e.g. or-tools for ``"cpsat"``) fails at construction
+        rather than mid-run.  The oracle gets the differential-harness
+        relaxation -- ``min_job_rate=0`` and no change penalty -- so its
+        objective upper-bounds every solution the production solver can
+        emit and the reported gap is a true optimality gap (>= 0).
+        """
+        if self.config.exact_oracle is None:
+            return None
+        return make_solver(
+            dataclasses.replace(
+                self.config.solver,
+                backend=self.config.exact_oracle,
+                min_job_rate=0.0,
+                change_penalty_mhz=0.0,
+            )
+        )
 
     # ------------------------------------------------------------------
     # Observation feed
@@ -284,12 +326,25 @@ class UtilityDrivenController:
         job_requests = self._job_requests(included, population, hypothetical)
         t4 = perf_counter()
 
+        # Exact backends take a warm-start hint: the previous cycle's
+        # transactional capacity share (the incumbent placement itself
+        # travels in the requests).  The greedy solver has no such hook.
+        warm_hint = getattr(self._solver, "warm_start", None)
+        if warm_hint is not None:
+            warm_hint(state.tx_fraction)
         solution = self._solver.solve(
             nodes, app_requests, job_requests, lr_target=split.lr_allocation
         )
         t5 = perf_counter()
         actions = plan_actions(current_placement, solution.placement, vm_states)
         t6 = perf_counter()
+
+        # Background optimality oracle -- after the decision is final,
+        # so its wall-time never pollutes the stage timings above and
+        # its answer never changes the cycle's outcome.
+        optimality_gap, exact_ms = self._run_oracle(
+            nodes, app_requests, job_requests, split.lr_allocation, solution
+        )
 
         state.complete_cycle(fingerprint, hypothetical.utility_level, split.tx_allocation)
         eq_stats = lr_curve.equalizer.stats
@@ -326,6 +381,8 @@ class UtilityDrivenController:
             population_size=len(population),
             app_targets=dict(app_targets),
             telemetry=telemetry,
+            optimality_gap=optimality_gap,
+            exact_ms=exact_ms,
         )
         return ControlDecision(
             actions=actions,
@@ -338,6 +395,43 @@ class UtilityDrivenController:
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
+    def _run_oracle(
+        self,
+        nodes: Sequence[NodeSpec],
+        app_requests: Sequence[AppRequest],
+        job_requests: Sequence[JobRequest],
+        lr_target: Mhz,
+        solution: PlacementSolution,
+    ) -> tuple[float, float]:
+        """Solve the cycle exactly in the background; return (gap, ms).
+
+        Returns ``(nan, nan)`` when the oracle is disabled or this cycle
+        is skipped by ``exact_oracle_every``.  An oracle failure (e.g. a
+        :class:`~repro.errors.ModelError` on a hard instance) suppresses
+        the gap sample but still reports the wall-time spent.
+        """
+        if self._oracle is None:
+            return math.nan, math.nan
+        self._oracle_cycles += 1
+        if (self._oracle_cycles - 1) % self.config.exact_oracle_every:
+            return math.nan, math.nan
+        start = perf_counter()
+        try:
+            warm_hint = getattr(self._oracle, "warm_start", None)
+            if warm_hint is not None:
+                warm_hint(self.control_state.tx_fraction)
+            exact = self._oracle.solve(
+                nodes, app_requests, job_requests, lr_target=lr_target
+            )
+        except Exception:
+            return math.nan, (perf_counter() - start) * 1e3
+        exact_ms = (perf_counter() - start) * 1e3
+        best = _solution_value(exact)
+        if best <= 0.0:
+            return 0.0, exact_ms
+        achieved = _solution_value(solution)
+        return max(0.0, (best - achieved) / best), exact_ms
+
     def _tx_curves(
         self, app_nodes: Optional[Mapping[str, frozenset[str]]] = None
     ) -> list[TransactionalCurve]:

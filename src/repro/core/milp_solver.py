@@ -72,6 +72,7 @@ Select it with ``SolverConfig(backend="milp")``.
 
 from __future__ import annotations
 
+import inspect
 from typing import Optional, Sequence
 
 import numpy as np
@@ -105,6 +106,19 @@ class MilpPlacementSolver:
 
     def __init__(self, config: SolverConfig | None = None) -> None:
         self.config = config or SolverConfig()
+        self._tx_fraction: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    def warm_start(self, tx_fraction: Optional[float]) -> None:
+        """Record a warm-start hint from the previous control cycle.
+
+        ``scipy.optimize.milp`` exposes no incumbent or basis interface
+        (checked against the signature at import time), so today the
+        hint is stored for parity with the CP-SAT backend and dropped.
+        If a future scipy release grows an ``x0``-style parameter,
+        :func:`_solve_model` picks it up automatically.
+        """
+        self._tx_fraction = tx_fraction
 
     # ------------------------------------------------------------------
     def solve(
@@ -160,95 +174,101 @@ class MilpPlacementSolver:
             lr_target,
             self.config,
         )
-        values = _solve_model(model)
-        self._extract(solution, model, values)
+        values = _solve_model(
+            model, hint=_incumbent_vector(model, self._tx_fraction)
+        )
+        extract_solution(solution, model, values)
         return solution
 
-    # ------------------------------------------------------------------
-    def _extract(
-        self,
-        solution: PlacementSolution,
-        model: "_Model",
-        values: np.ndarray,
-    ) -> None:
-        """Translate the MIP solution vector into a PlacementSolution."""
-        jobs, apps, nodes = model.jobs, model.apps, model.nodes
-        num_nodes = len(nodes)
-        x = values[: model.num_x].reshape(len(jobs), num_nodes)
-        r = values[model.num_x : 2 * model.num_x].reshape(len(jobs), num_nodes)
-        y = values[model.y_off : model.y_off + model.num_y].reshape(
-            len(apps), num_nodes
-        )
-        w = values[model.w_off :].reshape(len(apps), num_nodes)
 
-        # Per-node residual tracking guards against HiGHS feasibility
-        # slack (~1e-7) leaking into Placement.validate.
-        cpu_left = {n.node_id: float(n.cpu_capacity) for n in nodes}
+def extract_solution(
+    solution: PlacementSolution,
+    model: "_Model",
+    values: np.ndarray,
+) -> None:
+    """Translate a flat MIP solution vector into a PlacementSolution.
 
-        running_ids = {req.job_id for req in model.running}
-        for j, request in enumerate(jobs):
-            hosts = [n for n in range(num_nodes) if x[j, n] > _ROUND]
-            if not hosts:
-                if request.job_id in running_ids:
-                    solution.evicted_jobs.append(request.job_id)
-                else:
-                    solution.unplaced_jobs.append(request.job_id)
-                continue
-            n = hosts[0]
-            node_id = nodes[n].node_id
-            grant = float(np.clip(r[j, n], 0.0, model.rate_caps[j]))
-            grant = min(grant, cpu_left[node_id])
-            grant = 0.0 if grant < _MHZ_EPS else grant
-            cpu_left[node_id] -= grant
-            solution.placement.add(
-                PlacementEntry(
-                    vm_id=request.vm_id,
-                    node_id=node_id,
-                    cpu_mhz=grant,
-                    memory_mb=request.memory_mb,
-                    kind=WorkloadKind.LONG_RUNNING,
-                )
-            )
-            solution.job_rates[request.job_id] = grant
+    Shared by the MILP and CP-SAT backends: both lay their variables out
+    as ``x`` (J*N), ``r`` (J*N), ``y`` (A*N), ``w`` (A*N) blocks, so one
+    extraction covers both (see :class:`_Model` for the layout fields).
+    """
+    jobs, apps, nodes = model.jobs, model.apps, model.nodes
+    num_nodes = len(nodes)
+    x = values[: model.num_x].reshape(len(jobs), num_nodes)
+    r = values[model.num_x : 2 * model.num_x].reshape(len(jobs), num_nodes)
+    y = values[model.y_off : model.y_off + model.num_y].reshape(
+        len(apps), num_nodes
+    )
+    w = values[model.w_off :].reshape(len(apps), num_nodes)
+
+    # Per-node residual tracking guards against HiGHS feasibility
+    # slack (~1e-7) leaking into Placement.validate.
+    cpu_left = {n.node_id: float(n.cpu_capacity) for n in nodes}
+
+    running_ids = {req.job_id for req in model.running}
+    for j, request in enumerate(jobs):
+        hosts = [n for n in range(num_nodes) if x[j, n] > _ROUND]
+        if not hosts:
             if request.job_id in running_ids:
-                if node_id != request.current_node:
-                    solution.migrated_jobs.append(request.job_id)
-                    solution.changes += 1
+                solution.evicted_jobs.append(request.job_id)
             else:
+                solution.unplaced_jobs.append(request.job_id)
+            continue
+        n = hosts[0]
+        node_id = nodes[n].node_id
+        grant = float(np.clip(r[j, n], 0.0, model.rate_caps[j]))
+        grant = min(grant, cpu_left[node_id])
+        grant = 0.0 if grant < _MHZ_EPS else grant
+        cpu_left[node_id] -= grant
+        solution.placement.add(
+            PlacementEntry(
+                vm_id=request.vm_id,
+                node_id=node_id,
+                cpu_mhz=grant,
+                memory_mb=request.memory_mb,
+                kind=WorkloadKind.LONG_RUNNING,
+            )
+        )
+        solution.job_rates[request.job_id] = grant
+        if request.job_id in running_ids:
+            if node_id != request.current_node:
+                solution.migrated_jobs.append(request.job_id)
                 solution.changes += 1
+        else:
+            solution.changes += 1
 
-        # Each eviction costs a suspend now plus a resume later, matching
-        # the greedy's accounting of two changes per eviction minus the
-        # one already charged to the admitted job -- here the suspend
-        # itself is one change.
-        solution.changes += len(solution.evicted_jobs)
+    # Each eviction costs a suspend now plus a resume later, matching
+    # the greedy's accounting of two changes per eviction minus the
+    # one already charged to the admitted job -- here the suspend
+    # itself is one change.
+    solution.changes += len(solution.evicted_jobs)
 
-        for a, app in enumerate(apps):
-            total = 0.0
-            for n in range(num_nodes):
-                node_id = nodes[n].node_id
-                if y[a, n] > _ROUND:
-                    grant = float(max(w[a, n], 0.0))
-                    grant = min(grant, cpu_left[node_id])
-                    grant = 0.0 if grant < _MHZ_EPS else grant
-                    cpu_left[node_id] -= grant
-                    solution.placement.add(
-                        PlacementEntry(
-                            vm_id=app.instance_vm_id(node_id),
-                            node_id=node_id,
-                            cpu_mhz=grant,
-                            memory_mb=app.instance_memory_mb,
-                            kind=WorkloadKind.TRANSACTIONAL,
-                        )
+    for a, app in enumerate(apps):
+        total = 0.0
+        for n in range(num_nodes):
+            node_id = nodes[n].node_id
+            if y[a, n] > _ROUND:
+                grant = float(max(w[a, n], 0.0))
+                grant = min(grant, cpu_left[node_id])
+                grant = 0.0 if grant < _MHZ_EPS else grant
+                cpu_left[node_id] -= grant
+                solution.placement.add(
+                    PlacementEntry(
+                        vm_id=app.instance_vm_id(node_id),
+                        node_id=node_id,
+                        cpu_mhz=grant,
+                        memory_mb=app.instance_memory_mb,
+                        kind=WorkloadKind.TRANSACTIONAL,
                     )
-                    total += grant
-                    if node_id not in app.current_nodes:
-                        solution.started_instances.append((app.app_id, node_id))
-                        solution.changes += 1
-                elif node_id in app.current_nodes:
-                    solution.stopped_instances.append((app.app_id, node_id))
+                )
+                total += grant
+                if node_id not in app.current_nodes:
+                    solution.started_instances.append((app.app_id, node_id))
                     solution.changes += 1
-            solution.app_allocations[app.app_id] = total
+            elif node_id in app.current_nodes:
+                solution.stopped_instances.append((app.app_id, node_id))
+                solution.changes += 1
+        solution.app_allocations[app.app_id] = total
 
 
 class _Model:
@@ -260,6 +280,7 @@ class _Model:
         "jobs",
         "running",
         "rate_caps",
+        "lr_envelope",
         "num_x",
         "num_y",
         "y_off",
@@ -307,6 +328,7 @@ def _build_model(
     model.jobs = jobs
     model.running = running
     model.rate_caps = rate_caps
+    model.lr_envelope = lr_envelope
     model.num_x = num_jobs * num_nodes
     model.num_y = num_apps * num_nodes
     model.y_off = 2 * model.num_x
@@ -392,8 +414,14 @@ def _build_model(
                     migration_cols.append((x_idx(j, n), 1.0))
         if migration_cols:
             add(migration_cols, -np.inf, float(config.max_migrations))
-    # Big-M link: r[j,n] <= min(u_j, C_n) * x[j,n].
+    # Big-M link: r[j,n] <= min(u_j, C_n) * x[j,n].  Zero-demand jobs
+    # (target_rate=0 without a boost envelope) have rate_cap 0, so their
+    # r columns are already fixed to 0 by the variable bounds; emitting
+    # the degenerate all-but-zero link rows on top of that trips a HiGHS
+    # presolve failure (Status 4) on some instances, so skip them.
     for j in range(num_jobs):
+        if rate_caps[j] <= 0.0:
+            continue
         for n in range(num_nodes):
             big_m = min(rate_caps[j], cpu[n])
             add([(r_idx(j, n), 1.0), (x_idx(j, n), -big_m)], -np.inf, 0.0)
@@ -499,15 +527,82 @@ def _build_model(
     return model
 
 
-def _solve_model(model: _Model) -> np.ndarray:
-    """Run HiGHS branch-and-bound; raise :class:`ModelError` on failure."""
-    result = optimize.milp(
-        c=model.objective,
-        constraints=model.constraints,
-        integrality=model.integrality,
-        bounds=optimize.Bounds(model.lower, model.upper),
-        options={"mip_rel_gap": 1e-6},
+#: Name of ``scipy.optimize.milp``'s warm-start parameter, if the
+#: installed scipy exposes one (none does as of 1.17 -- HiGHS accepts
+#: incumbents but scipy does not thread them through yet).
+_MILP_HINT_PARAM: Optional[str] = next(
+    (
+        name
+        for name in ("x0", "hint")
+        if name in inspect.signature(optimize.milp).parameters
+    ),
+    None,
+)
+
+
+def _incumbent_vector(
+    model: _Model, tx_fraction: Optional[float] = None
+) -> np.ndarray:
+    """Flat variable vector describing the incumbent placement.
+
+    Used as a warm-start hint: ``x`` is 1 at each running job's current
+    node, ``y`` is 1 at each app's current instances, and ``w`` guesses
+    each current instance's grant from ``tx_fraction`` (the previous
+    cycle's transactional share of capacity, via
+    ``ControlState.tx_fraction``).  Hints need not be feasible -- both
+    backends treat them as a search starting point, not a constraint.
+    """
+    num_nodes = len(model.nodes)
+    vec = np.zeros(model.w_off + model.num_y)
+    node_index = {n.node_id: i for i, n in enumerate(model.nodes)}
+    for j, request in enumerate(model.running):
+        vec[j * num_nodes + node_index[request.current_node]] = 1.0
+    share = min(max(tx_fraction or 0.0, 0.0), 1.0)
+    for a, app in enumerate(model.apps):
+        for node_id in app.current_nodes:
+            n = node_index.get(node_id)
+            if n is None:
+                continue
+            vec[model.y_off + a * num_nodes + n] = 1.0
+            vec[model.w_off + a * num_nodes + n] = share * float(
+                model.nodes[n].cpu_capacity
+            )
+    return vec
+
+
+def _solve_model(
+    model: _Model, hint: Optional[np.ndarray] = None
+) -> np.ndarray:
+    """Run HiGHS branch-and-bound; raise :class:`ModelError` on failure.
+
+    HiGHS presolve occasionally reports "Status 4: Solve error" on
+    degenerate instances the solver proper handles fine, so a failed
+    first attempt is retried once with presolve disabled before the
+    error surfaces.  The retry only runs where the single attempt used
+    to raise, so successful solves stay bit-identical.
+    """
+    extra = (
+        {_MILP_HINT_PARAM: hint}
+        if _MILP_HINT_PARAM is not None and hint is not None
+        else {}
     )
-    if result.status != 0 or result.x is None:
-        raise ModelError(f"placement MILP failed: {result.message}")
-    return np.asarray(result.x, dtype=float)
+    result = None
+    for options in (
+        {"mip_rel_gap": 1e-6},
+        {"mip_rel_gap": 1e-6, "presolve": False},
+    ):
+        result = optimize.milp(
+            c=model.objective,
+            constraints=model.constraints,
+            integrality=model.integrality,
+            bounds=optimize.Bounds(model.lower, model.upper),
+            options=options,
+            **extra,
+        )
+        if result.status == 0 and result.x is not None:
+            return np.asarray(result.x, dtype=float)
+    raise ModelError(
+        f"placement MILP failed on {len(model.nodes)} nodes x "
+        f"{len(model.jobs)} jobs ({len(model.apps)} apps): "
+        f"status={result.status} ({result.message})"
+    )

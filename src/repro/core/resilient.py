@@ -39,7 +39,7 @@ from ..cluster.node import NodeSpec
 from ..cluster.placement import Placement
 from ..cluster.vm import VmState
 from ..config import ControllerConfig
-from ..errors import DecisionTimeoutError, DegradedModeError
+from ..errors import DecisionTimeoutError, DegradedModeError, ModelError
 from ..types import Seconds
 from ..workloads.jobs import Job
 from .actions_planner import plan_actions
@@ -100,6 +100,14 @@ class ResilientController:
             self.deadline_overruns += 1
             return self._degrade(
                 t, nodes, current_placement, vm_states, reason="deadline"
+            )
+        except ModelError:
+            # An exact backend failed to solve the cycle's instance
+            # (e.g. a HiGHS or CP-SAT solver error).  Same last-known-
+            # good fallback, but its own counter -- a solver-health
+            # signal, distinct from arbitrary policy exceptions.
+            return self._degrade(
+                t, nodes, current_placement, vm_states, reason="model-error"
             )
         except Exception as exc:  # noqa: BLE001 - the whole point
             return self._degrade(

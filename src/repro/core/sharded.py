@@ -41,7 +41,7 @@ from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from itertools import chain
 from time import perf_counter, sleep
 from typing import Mapping, Optional, Sequence
@@ -188,9 +188,18 @@ class ShardedController:
     ) -> None:
         self.config = config or ControllerConfig()
         self._app_ids = {spec.app_id for spec in app_specs}
+        # The background optimality oracle (exact_oracle) compares one
+        # whole-instance decision against one exact solve; a per-shard
+        # gap would measure each shard's sub-instance instead, which is
+        # not the same yardstick -- so shards run without it.
+        shard_config = (
+            replace(self.config, exact_oracle=None)
+            if self.config.exact_oracle is not None
+            else self.config
+        )
         self._controllers = [
             UtilityDrivenController(
-                app_specs, self.config, tx_utility_shape, network=network
+                app_specs, shard_config, tx_utility_shape, network=network
             )
             for _ in range(self.config.shards)
         ]

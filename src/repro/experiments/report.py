@@ -75,6 +75,25 @@ REPORT_METRICS = (
     "disruptive_actions",
 )
 
+#: Opt-in metrics appended to the defaults only when at least one result
+#: actually sampled them (finite aggregate), so runs without the
+#: corresponding knob keep their report layout unchanged.
+OPTIONAL_REPORT_METRICS = ("optimality_gap_mean",)
+
+
+def _sampled_optional_metrics(
+    per_result_metrics: Sequence[Mapping[str, MetricAggregate]],
+) -> list[str]:
+    """The optional metrics with at least one finite sample across results."""
+    return [
+        key
+        for key in OPTIONAL_REPORT_METRICS
+        if any(
+            key in metrics and metrics[key].n > 0
+            for metrics in per_result_metrics
+        )
+    ]
+
 
 def format_aggregate(agg: MetricAggregate) -> str:
     """``mean ± ci95-half-width`` cell text (point estimate when n=1)."""
@@ -97,7 +116,8 @@ def replication_summary(result: ReplicatedResult, label: str = "") -> str:
         ),
         "  per-metric mean ± 95% CI half-width:",
     ]
-    for key in REPORT_METRICS:
+    shown = (*REPORT_METRICS, *_sampled_optional_metrics([metrics]))
+    for key in shown:
         if key in metrics:
             lines.append(f"    {key:<20} {format_aggregate(metrics[key])}")
     return "\n".join(lines)
@@ -118,9 +138,11 @@ def replication_table(
         return "(no results)"
     if metrics is None:
         available = set()
-        for result in results:
-            available |= set(result.metrics())
+        per_result = [result.metrics() for result in results]
+        for aggregates in per_result:
+            available |= set(aggregates)
         metrics = [m for m in REPORT_METRICS if m in available]
+        metrics += _sampled_optional_metrics(per_result)
     scenarios = {result.scenario_name for result in results}
     headers = ["policy", "n", *metrics]
     rows = []

@@ -185,6 +185,12 @@ class ExperimentResult:
         workload utilities re-attains its pre-failure level (NaN when no
         failure occurred or none recovered within the horizon).
 
+        Exact-oracle telemetry (runs with the ``exact_oracle``
+        controller knob only; NaN otherwise): ``optimality_gap_mean``
+        averages the background oracle's per-cycle relative gap between
+        the production solver's satisfied demand and the exact optimum
+        of the same instance.
+
         Network telemetry (scenarios declaring a zone topology only; NaN
         otherwise): ``rt_network_mean`` is the time-averaged mean
         expected network RTT (s) across apps, ``in_zone_fraction`` the
@@ -234,6 +240,11 @@ class ExperimentResult:
                 else 0.0
             ),
             "time_to_recover_mean": _mean_time_to_recover(rec),
+            "optimality_gap_mean": (
+                float(rec.series("optimality_gap").values.mean())
+                if rec.has_series("optimality_gap")
+                else math.nan
+            ),
             "rt_network_mean": (
                 rec.series("rt_network_mean").time_average(0.0, horizon)
                 if rec.has_series("rt_network_mean")
@@ -766,6 +777,17 @@ class ExperimentRunner:
             rec.bump("eq_seed_misses_total", telemetry.seed_misses)
             if not warm and telemetry.reason:
                 rec.bump(f"invalidations:{telemetry.reason}")
+
+        # Background exact-oracle telemetry (the ``exact_oracle``
+        # controller knob; naming contract: repro.sim.recorder module
+        # docstring).  Both fields are NaN on cycles the oracle skipped
+        # or is disabled for, so the series only carry real samples.
+        gap = getattr(diag, "optimality_gap", math.nan)
+        if not math.isnan(gap):
+            rec.record("optimality_gap", t, gap)
+        exact_ms = getattr(diag, "exact_ms", math.nan)
+        if not math.isnan(exact_ms):
+            rec.record("exact_ms", t, exact_ms)
 
         # Sharded control plane: per-shard decide times and cross-shard
         # balance (ShardedDiagnostics only; the monolithic controller

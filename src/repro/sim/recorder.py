@@ -94,6 +94,22 @@ see :mod:`repro.netmodel`) additionally record, per control cycle:
 Latency-blind scenarios record none of these (absent series, not NaN
 samples), keeping their exports byte-identical to pre-network runs.
 
+Exact-oracle runs (the ``ControllerConfig.exact_oracle`` knob)
+additionally record, on the cycles the oracle sampled:
+
+* ``optimality_gap`` series -- relative shortfall of the cycle's
+  placement against the exact optimum of the same instance, in [0, 1]
+  (0 = the production solver matched the oracle);
+* ``exact_ms`` series -- the background oracle's solve wall-time,
+  milliseconds (wall-clock, hence nondeterministic -- like the
+  ``stage_ms:*`` series);
+* plus the ``fallback:model-error`` counter when a resilient run
+  degraded a cycle because an exact backend raised a
+  :class:`~repro.errors.ModelError`.
+
+Runs without the knob record neither series (absent, not NaN), and the
+``optimality_gap_mean`` summary metric is NaN.
+
 These are ordinary series/counters -- schema consumers that predate them
 simply see extra names, which is the recorder's documented forward-
 compatible evolution path (new names may appear; existing names keep

@@ -146,3 +146,31 @@ class TestResultExport:
         assert metrics["min_utility"] == min(
             metrics["tx_utility"], metrics["lr_utility"]
         )
+
+    def test_oracle_series_absent_without_the_knob(self, short_smoke_result):
+        # No exact_oracle configured: the gap series must be *absent*
+        # (the recorder naming contract), and the summary metric NaN.
+        rec = short_smoke_result.recorder
+        assert not rec.has_series("optimality_gap")
+        assert not rec.has_series("exact_ms")
+        assert math.isnan(
+            short_smoke_result.summary_metrics()["optimality_gap_mean"]
+        )
+
+    def test_exact_oracle_records_gap_telemetry(self):
+        result = run_experiment(
+            "smoke",
+            overrides={
+                "horizon": 1800.0,
+                "controller.exact_oracle": "milp",
+            },
+        )
+        rec = result.recorder
+        assert rec.has_series("optimality_gap")
+        assert rec.has_series("exact_ms")
+        gaps = rec.series("optimality_gap").values
+        assert len(gaps) > 0
+        assert all(0.0 <= g <= 1.0 for g in gaps)
+        mean = result.summary_metrics()["optimality_gap_mean"]
+        assert math.isfinite(mean)
+        assert mean == pytest.approx(float(gaps.mean()))

@@ -23,11 +23,21 @@ class TestControllerConfig:
             {"capacity_efficiency": 1.5},
             {"rt_tolerance": 0.0},
             {"estimator_alpha": 0.0},
+            {"exact_oracle": ""},
+            {"exact_oracle": 7},
+            {"exact_oracle_every": 0},
+            {"exact_oracle_every": -1},
         ],
     )
     def test_invalid_values_rejected(self, kwargs):
         with pytest.raises(ConfigurationError):
             ControllerConfig(**kwargs)
+
+    def test_exact_oracle_accepts_backend_name(self):
+        config = ControllerConfig(exact_oracle="milp", exact_oracle_every=5)
+        assert config.exact_oracle == "milp"
+        assert config.exact_oracle_every == 5
+        assert ControllerConfig().exact_oracle is None
 
     def test_frozen(self):
         config = ControllerConfig()

@@ -140,6 +140,50 @@ class TestDecision:
         assert len(resume_actions) == 1
 
 
+class TestExactOracle:
+    def test_disabled_by_default(self):
+        import math
+
+        controller = make_controller()
+        assert controller._oracle is None
+        decision = decide(controller, [make_job(job_id="j1")])
+        assert math.isnan(decision.diagnostics.optimality_gap)
+        assert math.isnan(decision.diagnostics.exact_ms)
+
+    def test_milp_oracle_reports_gap_and_wall_time(self):
+        import math
+
+        controller = make_controller(exact_oracle="milp")
+        decision = decide(controller, [make_job(job_id="j1")])
+        gap = decision.diagnostics.optimality_gap
+        assert math.isfinite(gap)
+        # The gap is relative and clamped at zero; on this tiny
+        # uncontended instance the greedy answer is optimal.
+        assert 0.0 <= gap <= 1.0
+        assert decision.diagnostics.exact_ms >= 0.0
+
+    def test_sampling_interval_skips_cycles(self):
+        import math
+
+        controller = make_controller(
+            exact_oracle="milp", exact_oracle_every=3
+        )
+        gaps = [
+            decide(controller, [make_job(job_id="j1")], t=600.0 * i)
+            .diagnostics.optimality_gap
+            for i in range(4)
+        ]
+        # Cycles 0 and 3 sample; 1 and 2 are skipped (NaN).
+        assert math.isfinite(gaps[0]) and math.isfinite(gaps[3])
+        assert math.isnan(gaps[1]) and math.isnan(gaps[2])
+
+    def test_unknown_oracle_backend_rejected(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            make_controller(exact_oracle="simplex-of-doom")
+
+
 class TestConfig:
     def test_stealing_arbiter_selectable(self):
         controller = make_controller(arbiter="stealing")

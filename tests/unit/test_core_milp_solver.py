@@ -384,6 +384,135 @@ class TestEdgeCases:
             == {e.vm_id: (e.node_id, round(e.cpu_mhz, 6)) for e in b.placement}
 
 
+class TestZeroDemand:
+    """Regressions for zero-demand jobs (``target_rate=0.0``).
+
+    Degenerate rate columns used to produce all-but-zero big-M rows that
+    tripped HiGHS presolve ("Status 4: Solve error") on instances mixing
+    a zero-rate *running* job with churn constraints -- the tier-1
+    differential property test's historical falsifying family.
+    """
+
+    def test_zero_rate_waiting_job_solves(self):
+        sol = MilpPlacementSolver(EXACT).solve(
+            nodes(1), [], [job("idle", 0.0), job("busy", 2000.0)]
+        )
+        assert sol.job_rates.get("busy") == pytest.approx(2000.0)
+        # A zero-demand admission earns nothing; placed or not, its
+        # grant must be exactly zero.
+        assert sol.job_rates.get("idle", 0.0) == pytest.approx(0.0)
+
+    def test_zero_rate_running_job_with_churn_constraints(self):
+        # Shrunk form of the differential test's falsifying instance:
+        # heterogeneous nodes, a web app, a *running* zero-rate job, a
+        # waiting zero-rate job and a change budget.
+        node_list = [
+            make_node("n0", procs=4, mem=2000.0),
+            make_node("n1", procs=1, mem=2000.0),
+            make_node("n2", procs=4, mem=4000.0),
+            make_node("n3", procs=6, mem=2000.0),
+        ]
+        apps_ = [app(42_000.0)]
+        jobs_ = [
+            job("j00", 1500.0, node="n3", mem=600.0, cap=1500.0),
+            job("j01", 0.0, node="n0", mem=600.0, cap=1500.0),
+            job("j02", 750.0, node="n3", mem=600.0, cap=1500.0),
+            job("j03", 0.0, mem=600.0, cap=1500.0),
+        ]
+        cfg = SolverConfig(backend="milp", change_budget=3,
+                           change_penalty_mhz=0.0, min_job_rate=0.0)
+        sol = MilpPlacementSolver(cfg).solve(node_list, apps_, jobs_)
+        assert_solution_feasible(sol, node_list, jobs=jobs_, apps=apps_,
+                                 budget=3)
+        greedy = PlacementSolver(
+            SolverConfig(change_budget=3, min_job_rate=0.0)
+        ).solve(node_list, apps_, jobs_)
+        assert solution_objective(sol) >= solution_objective(greedy) - 1e-3
+
+    def test_all_zero_rate_instance(self):
+        jobs_ = [job("r0", 0.0, node="n0"), job("r1", 0.0, node="n1"),
+                 job("w0", 0.0), job("w1", 0.0)]
+        # Default (positive) change penalty: evictions cost objective
+        # value and earn nothing, so the incumbents must stay put.
+        cfg = SolverConfig(backend="milp", min_job_rate=0.0)
+        sol = MilpPlacementSolver(cfg).solve(nodes(2), [], jobs_)
+        assert_solution_feasible(sol, nodes(2), jobs=jobs_)
+        assert sol.satisfied_lr_demand == pytest.approx(0.0)
+        assert sol.evicted_jobs == []
+
+    def test_all_zero_rate_with_web_app(self):
+        # The web app must still capture its full demand around the
+        # zero-rate job columns.
+        jobs_ = [job("r0", 0.0, node="n0"), job("w0", 0.0)]
+        cfg = SolverConfig(backend="milp", change_penalty_mhz=0.0,
+                           min_job_rate=0.0)
+        apps_ = [app(6_000.0)]
+        sol = MilpPlacementSolver(cfg).solve(nodes(1), apps_, jobs_)
+        assert sol.app_allocations["web"] == pytest.approx(6_000.0)
+
+    def test_zero_rate_with_boost_envelope_still_grants(self):
+        # With an lr_target the zero-target job's cap is its speed cap
+        # (work-conserving boost), so the column is *not* degenerate and
+        # the job may still earn CPU.
+        running = [job("a", 0.0, node="n0")]
+        cfg = SolverConfig(backend="milp", change_penalty_mhz=0.0,
+                           min_job_rate=0.0)
+        sol = MilpPlacementSolver(cfg).solve(
+            nodes(1), [], running, lr_target=9_000.0
+        )
+        assert sol.job_rates["a"] == pytest.approx(3000.0)
+
+    def test_infinite_remaining_work_batch_jobs(self):
+        # remaining_work=inf (the JobRequest default, used by batch jobs
+        # without progress tracking) must not protect the job from
+        # eviction nor leak non-finite coefficients into the model.
+        running = [job("endless", 100.0, node="n0", mem=3500.0)]
+        assert running[0].remaining_work == float("inf")
+        waiting = [job("urgent", 3000.0, mem=3500.0)]
+        cfg = SolverConfig(backend="milp", change_penalty_mhz=0.0)
+        sol = MilpPlacementSolver(cfg).solve(nodes(1), [], running + waiting)
+        assert sol.evicted_jobs == ["endless"]
+        assert set(sol.job_rates) == {"urgent"}
+
+    def test_zero_rate_and_infinite_work_combined(self):
+        jobs_ = [
+            JobRequest(
+                job_id="z", vm_id="vm-z", target_rate=0.0, speed_cap=1500.0,
+                memory_mb=600.0, current_node="n0", was_suspended=False,
+                submit_time=0.0, remaining_work=float("inf"),
+            ),
+            job("busy", 2500.0),
+        ]
+        cfg = SolverConfig(backend="milp", change_penalty_mhz=0.0,
+                           min_job_rate=0.0)
+        sol = MilpPlacementSolver(cfg).solve(nodes(1), [], jobs_)
+        assert_solution_feasible(sol, nodes(1), jobs=jobs_)
+        assert sol.job_rates.get("busy") == pytest.approx(2500.0)
+
+    def test_error_message_includes_shape_and_status(self):
+        # _solve_model's ModelError must carry the instance shape and
+        # solver status for triage; force a failure with an infeasible
+        # model (a protected running job whose node disappeared is
+        # impossible -- use a direct infeasibility instead).
+        import numpy as np
+        from repro.core import milp_solver as m
+
+        model = m._build_model(
+            nodes(1), [], [job("a", 1000.0, node="n0")], [], None,
+            SolverConfig(backend="milp"),
+        )
+        # Contradictory bounds: x forced to 1 and 0 simultaneously.
+        model.lower = model.lower.copy()
+        model.upper = model.upper.copy()
+        model.lower[0] = 1.0
+        model.upper[0] = 0.0
+        with pytest.raises(Exception) as excinfo:
+            m._solve_model(model)
+        message = str(excinfo.value)
+        assert "1 nodes x 1 jobs" in message
+        assert "status=" in message
+
+
 class TestDifferentialSmall:
     """Deterministic spot-checks of the dominance property."""
 

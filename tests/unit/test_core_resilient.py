@@ -146,6 +146,24 @@ class TestExceptionFallback:
         assert decision.actions == []
         assert inner.invalidations == ["degraded"]
 
+    def test_model_error_degrades_with_dedicated_reason(self):
+        # Exact-solver failures (ModelError) are expected operational
+        # events, not programming bugs: they fall back like any other
+        # exception but under their own counter so dashboards can tell
+        # "the MILP/CP-SAT didn't converge" apart from crashes.
+        from repro.errors import ModelError
+
+        nodes = [_node()]
+        current = Placement([_tx_entry("web", "node000")])
+        inner = _FakePolicy([ModelError("placement MILP failed: status=4")])
+        wrapped = ResilientController(inner, ControllerConfig())
+        decision = _call(wrapped, nodes=nodes, current=current)
+        assert wrapped.degraded_cycles == 1
+        assert decision.diagnostics.degraded
+        assert decision.diagnostics.fallback_reason == "model-error"
+        assert list(decision.placement) == list(current)
+        assert inner.invalidations == ["degraded"]
+
     def test_degraded_placement_drops_dead_nodes(self):
         nodes = [_node("node000")]  # node001 is gone this cycle
         current = Placement(
